@@ -1,0 +1,171 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// 32-chunks-per-thread scheduling granularity (§5), the fused full-vector
+// fast path of the pull kernel, the sparse-frontier extension, and the
+// dynamic-vs-static Edge-phase scheduler.
+package grazelle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+// BenchmarkAblationChunksPerWorker sweeps the chunks-per-thread choice
+// around the paper's 32 (too few chunks → load imbalance on skewed inputs;
+// too many → scheduling and merge overhead).
+func BenchmarkAblationChunksPerWorker(b *testing.B) {
+	g, cg := benchGraph(b, gen.UK2007)
+	for _, perWorker := range []int{2, 8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("chunks%dn", perWorker), func(b *testing.B) {
+			total := cg.VSD.NumVectors()
+			chunk := sched.ChunkSize(total, perWorker*2)
+			r := core.NewRunner(cg, core.Options{ChunkVectors: chunk, Mode: core.EnginePullOnly})
+			defer r.Close()
+			p := apps.NewPageRank(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Run(r, p, 1)
+			}
+			reportEdges(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationFullVectorPath compares the pull kernel with and without
+// the fused full-vector fast path (per-lane predication everywhere when
+// ablated).
+func BenchmarkAblationFullVectorPath(b *testing.B) {
+	g, cg := benchGraph(b, gen.Twitter)
+	for _, ablate := range []bool{false, true} {
+		name := "fast-path"
+		if ablate {
+			name = "ablated"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := core.NewRunner(cg, core.Options{Mode: core.EnginePullOnly, AblateFullVector: ablate})
+			defer r.Close()
+			p := apps.NewPageRank(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Run(r, p, 1)
+			}
+			reportEdges(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationSparseFrontier measures the sparse-frontier extension
+// (the future work of §5) on the workload it targets: BFS over the
+// high-diameter mesh, where dense engines rescan the whole edge array for
+// ~150 one-vertex rounds.
+func BenchmarkAblationSparseFrontier(b *testing.B) {
+	for _, d := range []gen.Dataset{gen.DimacsUSA, gen.Twitter} {
+		_, cg := benchGraph(b, d)
+		for _, sparse := range []bool{false, true} {
+			name := "dense"
+			if sparse {
+				name = "sparse"
+			}
+			b.Run(d.Abbrev()+"/"+name, func(b *testing.B) {
+				r := core.NewRunner(cg, core.Options{SparseFrontier: sparse})
+				defer r.Close()
+				for i := 0; i < b.N; i++ {
+					core.Run(r, apps.NewBFS(0), 1<<20)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSchedulerGranularityCC reruns the Fig 6 sensitivity
+// question for a frontier application (Connected Components) rather than
+// PageRank.
+func BenchmarkAblationSchedulerGranularityCC(b *testing.B) {
+	g, cg := benchGraph(b, gen.Twitter)
+	for _, gran := range []int{50, 500, 5000} {
+		for _, variant := range []core.PullVariant{core.PullTraditional, core.PullSchedulerAware} {
+			b.Run(fmt.Sprintf("gran%d/%s", gran, variant), func(b *testing.B) {
+				r := core.NewRunner(cg, core.Options{ChunkVectors: gran, Variant: variant})
+				defer r.Close()
+				for i := 0; i < b.N; i++ {
+					core.Run(r, apps.NewConnComp(), 1<<20)
+				}
+				reportEdges(b, g.NumEdges())
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMergeCost isolates the merge-buffer fold (Listing 6) by
+// running the scheduler-aware engine at extreme granularities: tiny chunks
+// maximize merge-buffer slots, so the spread bounds the merge overhead the
+// paper calls "extremely fast".
+func BenchmarkAblationMergeCost(b *testing.B) {
+	g, cg := benchGraph(b, gen.Friendster)
+	for _, chunk := range []int{16, 16384} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			r := core.NewRunner(cg, core.Options{ChunkVectors: chunk, Mode: core.EnginePullOnly})
+			defer r.Close()
+			p := apps.NewPageRank(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Run(r, p, 1)
+			}
+			reportEdges(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares the ticket-counter dynamic scheduler
+// against the work-stealing scheduler under the scheduler-aware engine —
+// §3's claim that scheduler awareness does not restrict the scheduler.
+func BenchmarkAblationScheduler(b *testing.B) {
+	g, cg := benchGraph(b, gen.UK2007)
+	for _, stealing := range []bool{false, true} {
+		name := "ticket"
+		if stealing {
+			name = "work-stealing"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := core.NewRunner(cg, core.Options{Mode: core.EnginePullOnly, WorkStealing: stealing})
+			defer r.Close()
+			p := apps.NewPageRank(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Run(r, p, 1)
+			}
+			reportEdges(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationVectorWidth compares the 256-bit (4-lane) and 512-bit
+// (8-lane) Vector-Sparse pull kernels — the generalization §4 sketches for
+// AVX-512. Wider vectors amortize bookkeeping over more edges but carry the
+// packing penalty Fig 9 quantifies, so the winner depends on the degree
+// distribution: the skewed uk analog favors wide, the mesh does not.
+func BenchmarkAblationVectorWidth(b *testing.B) {
+	for _, d := range []gen.Dataset{gen.DimacsUSA, gen.UK2007} {
+		g, cg := benchGraph(b, d)
+		for _, wide := range []bool{false, true} {
+			name := "256-bit"
+			if wide {
+				name = "512-bit"
+			}
+			b.Run(d.Abbrev()+"/"+name, func(b *testing.B) {
+				r := core.NewRunner(cg, core.Options{Mode: core.EnginePullOnly, WideVectors: wide})
+				defer r.Close()
+				p := apps.NewPageRank(g)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.Run(r, p, 1)
+				}
+				reportEdges(b, g.NumEdges())
+			})
+		}
+	}
+}

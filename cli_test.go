@@ -1,0 +1,148 @@
+package grazelle
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's executables into a shared temp
+// dir, once per test process.
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+func cliBinaries(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "grazelle-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"grazelle", "gengraph", "benchfig"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				cliErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Skipf("cannot build CLI binaries: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(cliBinaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIGrazellePageRank(t *testing.T) {
+	out, err := runCLI(t, "grazelle", "-d", "C", "-scale", "0.25", "-a", "pr", "-N", "4", "-counters")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"PageRank Sum: 1.0000", "Iterations: 4 (pull 4, push 0)", "Edge counters:", "atomics=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIGrazelleRejectsBadFlags(t *testing.T) {
+	if out, err := runCLI(t, "grazelle"); err == nil {
+		t.Errorf("no input accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, "grazelle", "-d", "C", "-a", "nope"); err == nil {
+		t.Errorf("bad app accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, "grazelle", "-d", "C", "-variant", "nope"); err == nil {
+		t.Errorf("bad variant accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, "grazelle", "-d", "C", "-a", "sssp"); err == nil {
+		t.Errorf("SSSP on unweighted graph accepted:\n%s", out)
+	}
+}
+
+func TestCLIGengraphAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "mesh")
+	out, err := runCLI(t, "gengraph", "-kind", "mesh", "-rows", "10", "-cols", "10", "-weighted", "-o", base)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "100 vertices") {
+		t.Errorf("gengraph output: %s", out)
+	}
+	// The pair must load and run through the grazelle CLI, SSSP included.
+	outFile := filepath.Join(dir, "dist.txt")
+	out, err = runCLI(t, "grazelle", "-i", base, "-a", "sssp", "-o", outFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Reached: 100 of 100") {
+		t.Errorf("sssp output: %s", out)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 100 {
+		t.Errorf("output file has %d lines, want 100", lines)
+	}
+}
+
+func TestCLIGengraphTextConversion(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(txt, []byte("# demo\n0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "tri")
+	out, err := runCLI(t, "gengraph", "-kind", "text", "-in", txt, "-o", base)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	out, err = runCLI(t, "grazelle", "-i", base, "-a", "cc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Components: 1") {
+		t.Errorf("cc output: %s", out)
+	}
+}
+
+func TestCLIBenchfig(t *testing.T) {
+	out, err := runCLI(t, "benchfig", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"fig5", "fig9", "table1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	out, err = runCLI(t, "benchfig", "-quick", "-datasets", "C", "fig9")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Figure 9a") || !strings.Contains(out, "Figure 9b") {
+		t.Errorf("fig9 output:\n%s", out)
+	}
+	if out, err = runCLI(t, "benchfig", "nope"); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+	if out, err = runCLI(t, "benchfig"); err == nil {
+		t.Errorf("no experiment accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: build a small graph by hand, run PageRank, BFS, and
+// Connected Components through the public API, and print the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grazelle "repro"
+)
+
+func main() {
+	// A toy citation graph: 0 and 1 cite each other, everyone cites 4.
+	edges := []grazelle.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 0, Dst: 4}, {Src: 1, Dst: 4}, {Src: 2, Dst: 4}, {Src: 3, Dst: 4},
+		{Src: 2, Dst: 3},
+		{Src: 4, Dst: 0},
+	}
+	g, err := grazelle.NewGraph(5, edges, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := grazelle.NewEngine(g, grazelle.Options{})
+	defer e.Close()
+
+	pr := e.PageRank(30)
+	fmt.Printf("PageRank (sum %.6f):\n", pr.Sum)
+	for v, r := range pr.Ranks {
+		fmt.Printf("  vertex %d: %.4f\n", v, r)
+	}
+
+	bfs := e.BFS(2)
+	fmt.Println("BFS parents from 2:")
+	for v, p := range bfs.Parents {
+		fmt.Printf("  vertex %d: parent %d\n", v, p)
+	}
+
+	cc := e.ConnectedComponents()
+	fmt.Printf("Connected components: %d (labels %v)\n", cc.NumComponents(), cc.Components)
+}

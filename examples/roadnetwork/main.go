@@ -1,0 +1,69 @@
+// Roadnetwork: route computation on a weighted road-network analog (the
+// dimacs-usa-style mesh). Runs BFS for hop distance and SSSP for weighted
+// travel cost from a corner intersection — the frontier-driven,
+// high-diameter workload that exercises the hybrid engine's push side.
+//
+//	go run ./examples/roadnetwork [-rows 120 -cols 130]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	grazelle "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	rows := flag.Int("rows", 120, "mesh rows")
+	cols := flag.Int("cols", 130, "mesh cols")
+	flag.Parse()
+
+	mesh := gen.Grid(*rows, *cols, true, 42)
+	g, err := grazelle.NewGraph(mesh.NumVertices, mesh.Edges, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Road network: %d intersections, %d road segments\n",
+		g.NumVertices(), g.NumEdges())
+
+	e := grazelle.NewEngine(g, grazelle.Options{})
+	defer e.Close()
+
+	bfs := e.BFS(0)
+	fmt.Printf("BFS from corner: reached %d intersections in %d rounds (%d pull / %d push iterations), %v\n",
+		bfs.Reachable(), bfs.Stats.Iterations,
+		bfs.Stats.PullIterations, bfs.Stats.PushIterations, bfs.Stats.Total)
+
+	sssp, err := e.SSSP(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	far := uint32(g.NumVertices() - 1) // opposite corner
+	fmt.Printf("SSSP from corner: cost to opposite corner %.2f, %d rounds, %v\n",
+		sssp.Dist[far], sssp.Stats.Iterations, sssp.Stats.Total)
+
+	// Reconstruct one shortest route by walking the distance field
+	// backwards: from v, step to an in-neighbor u with dist[u] + w(u,v) ==
+	// dist[v].
+	in := make(map[uint32][]grazelle.Edge)
+	for _, edge := range mesh.Edges {
+		in[edge.Dst] = append(in[edge.Dst], edge)
+	}
+	hops := 0
+	for v := far; v != 0 && hops <= g.NumVertices(); hops++ {
+		next := v
+		for _, edge := range in[v] {
+			if sssp.Dist[edge.Src]+float64(edge.Weight) <= sssp.Dist[v]+1e-9 {
+				next = edge.Src
+				break
+			}
+		}
+		if next == v {
+			log.Fatalf("no predecessor found at intersection %d", v)
+		}
+		v = next
+	}
+	fmt.Printf("Route from opposite corner back to origin: %d segments\n", hops)
+}

@@ -1,0 +1,61 @@
+// Schedinterface: a side-by-side demonstration of the paper's first
+// contribution. Runs the same PageRank workload under the traditional
+// parallel-loop interface (one synchronized shared write per edge) and the
+// scheduler-aware interface (thread-local accumulation + merge buffer), and
+// prints the write-traffic and synchronization counters that explain the
+// paper's up-to-50× gap.
+//
+//	go run ./examples/schedinterface [-dataset U -scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	grazelle "repro"
+)
+
+func main() {
+	dataset := flag.String("dataset", "uk-2007", "dataset analog (the paper's largest win is on uk-2007)")
+	scale := flag.Float64("scale", 0.5, "dataset scale factor")
+	iters := flag.Int("iters", 8, "PageRank iterations")
+	gran := flag.Int("granularity", 1000, "edge vectors per chunk (Fig 5 uses 1000)")
+	flag.Parse()
+
+	g, err := grazelle.GenerateDataset(*dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Graph: %s analog, %d vertices, %d edges\n\n", *dataset, g.NumVertices(), g.NumEdges())
+
+	run := func(name string, variant grazelle.PullVariant) (time.Duration, grazelle.Counters) {
+		e := grazelle.NewEngine(g, grazelle.Options{
+			Variant:      variant,
+			ChunkVectors: *gran,
+			Mode:         grazelle.PullOnly,
+			Record:       true,
+		})
+		defer e.Close()
+		res := e.PageRank(*iters)
+		fmt.Printf("%-16s time %-12v rank sum %.9f\n", name, res.Stats.Total, res.Sum)
+		return res.Stats.Total, res.Stats.EdgeCounters
+	}
+
+	tTrad, cTrad := run("Traditional", grazelle.Traditional)
+	tSA, cSA := run("Scheduler-aware", grazelle.SchedulerAware)
+
+	fmt.Printf("\nSpeedup: %.2fx\n\n", float64(tTrad)/float64(tSA))
+	fmt.Printf("%-28s %15s %15s\n", "counter", "traditional", "scheduler-aware")
+	row := func(name string, a, b uint64) { fmt.Printf("%-28s %15d %15d\n", name, a, b) }
+	row("shared-memory writes", cTrad.SharedWrites, cSA.SharedWrites)
+	row("thread-local writes", cTrad.TLSWrites, cSA.TLSWrites)
+	row("atomic operations", cTrad.AtomicOps, cSA.AtomicOps)
+	row("CAS retries (conflicts)", cTrad.CASRetries, cSA.CASRetries)
+	row("merge-buffer folds", cTrad.MergeOps, cSA.MergeOps)
+	fmt.Println("\nThe scheduler-aware interface needs zero atomics: chunk-local state")
+	fmt.Println("covers almost every write, outer-loop transitions store directly (one")
+	fmt.Println("chunk owns each vertex's last vector), and per-chunk merge-buffer slots")
+	fmt.Println("absorb the rest (paper §3).")
+}

@@ -1,0 +1,363 @@
+// Package grazelle is the public API of this reproduction of "Making
+// Pull-Based Graph Processing Performant" (Grossman, Litz & Kozyrakis,
+// PPoPP 2018). It wraps the Grazelle engine (internal/core) — a hybrid
+// push/pull graph processing framework built on two ideas from the paper:
+//
+//   - Scheduler-aware parallel loops (§3): the pull engine's inner loop is
+//     parallelized with StartChunk/LoopIteration/FinishChunk hooks and a
+//     per-chunk merge buffer, eliminating synchronization and nearly all
+//     shared write traffic.
+//   - The Vector-Sparse format (§4): a padded, predicated, 64-bit-lane
+//     edge encoding that makes the inner loop vectorizable with aligned,
+//     unguarded vector loads (executed here by a software vector unit; see
+//     DESIGN.md for the SIMD substitution).
+//
+// Basic use:
+//
+//	g, _ := grazelle.GenerateDataset("twitter-2010", 1.0)
+//	e := grazelle.NewEngine(g, grazelle.Options{})
+//	defer e.Close()
+//	pr := e.PageRank(16)
+//	fmt.Println("rank sum:", pr.Sum) // ≈ 1.0
+package grazelle
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"repro/internal/perfmodel"
+)
+
+// Edge is a directed edge with an optional weight.
+type Edge = graph.Edge
+
+// Graph is an immutable graph preprocessed into every engine
+// representation (CSR, CSC, and the Vector-Sparse VSS/VSD pair).
+type Graph struct {
+	src  *graph.Graph
+	core *core.Graph
+}
+
+// NewGraph builds a Graph from an edge list over numVertices vertices.
+func NewGraph(numVertices int, edges []Edge, weighted bool) (*Graph, error) {
+	g := &graph.Graph{NumVertices: numVertices, Edges: edges, Weighted: weighted}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+func wrap(g *graph.Graph) *Graph {
+	return &Graph{src: g, core: core.BuildGraph(g)}
+}
+
+// LoadGraph reads a graph from a file in the repository's binary format
+// (see cmd/gengraph).
+func LoadGraph(path string) (*Graph, error) {
+	g, err := graph.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// LoadEdgeList reads a SNAP-style text edge list ("src dst [weight]" lines,
+// '#'/'%' comments) — the distribution format of the paper's Table 1
+// datasets.
+func LoadEdgeList(path string) (*Graph, error) {
+	g, err := graph.ReadEdgeListFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// LoadGraphPair reads the "-push"/"-pull" file pair written by SavePair or
+// cmd/gengraph, mirroring the artifact's input convention.
+func LoadGraphPair(base string) (*Graph, error) {
+	push, _, err := graph.LoadPair(base)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(push), nil
+}
+
+// GenerateDataset produces the synthetic analog of one of the paper's six
+// Table 1 datasets by name or single-letter abbreviation (e.g.
+// "twitter-2010" or "T") at the given scale (1.0 = default benchmark size).
+func GenerateDataset(name string, scale float64) (*Graph, error) {
+	d, err := gen.ParseDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(gen.Generate(d, scale)), nil
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.src.NumVertices }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return g.src.NumEdges() }
+
+// Weighted reports whether edges carry weights.
+func (g *Graph) Weighted() bool { return g.src.Weighted }
+
+// PackingEfficiency returns the Vector-Sparse packing efficiency of the
+// pull-direction (VSD) edge array — the Fig 9 metric.
+func (g *Graph) PackingEfficiency() float64 { return g.core.VSD.PackingEfficiency() }
+
+// Save writes the graph's "-push"/"-pull" binary file pair.
+func (g *Graph) Save(base string) error { return g.src.SavePair(base) }
+
+// PullVariant selects the Edge-Pull inner-loop parallelization strategy.
+type PullVariant = core.PullVariant
+
+// Pull-engine variants (§3 and §6.1 of the paper).
+const (
+	SchedulerAware       = core.PullSchedulerAware
+	Traditional          = core.PullTraditional
+	TraditionalNonatomic = core.PullTraditionalNonatomic
+	OuterOnly            = core.PullOuterOnly
+)
+
+// EngineMode selects which Edge-phase engine runs.
+type EngineMode = core.EngineMode
+
+// Engine modes.
+const (
+	Hybrid   = core.EngineHybrid
+	PullOnly = core.EnginePullOnly
+	PushOnly = core.EnginePushOnly
+)
+
+// Counters re-exports the execution counters collected when
+// Options.Record is set.
+type Counters = perfmodel.Counters
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults: scheduler-aware vectorized pull, hybrid engine selection,
+// GOMAXPROCS workers, one NUMA node, 32·workers dynamic chunks.
+type Options struct {
+	// Workers is the worker-thread count (0 = GOMAXPROCS).
+	Workers int
+	// Sockets simulates a multi-socket NUMA machine by partitioning the
+	// edge arrays and classifying accesses (0 or 1 = single node).
+	Sockets int
+	// ChunkVectors is the dynamic-scheduling granularity in edge vectors
+	// per chunk (0 = 32 chunks per worker, the paper's default).
+	ChunkVectors int
+	// Variant selects the pull-engine parallelization (default
+	// SchedulerAware).
+	Variant PullVariant
+	// Scalar disables the software-vectorized kernels (the Fig 10
+	// baseline).
+	Scalar bool
+	// Mode forces an engine (default Hybrid).
+	Mode EngineMode
+	// Record enables execution counters (small per-edge overhead).
+	Record bool
+	// SparseFrontier enables the sparse-frontier extension (future work in
+	// the paper, §5): small frontiers are processed as vertex lists,
+	// skipping whole-array scans. Off by default for paper fidelity.
+	SparseFrontier bool
+}
+
+// Engine executes graph applications on one Graph. Engines hold a worker
+// pool; Close them when done. An Engine is not safe for concurrent use.
+type Engine struct {
+	g *Graph
+	r *core.Runner
+}
+
+// NewEngine creates an engine for g.
+func NewEngine(g *Graph, opt Options) *Engine {
+	workers := opt.Workers
+	copt := core.Options{
+		Workers:        workers,
+		ChunkVectors:   opt.ChunkVectors,
+		Variant:        opt.Variant,
+		Scalar:         opt.Scalar,
+		Mode:           opt.Mode,
+		Record:         opt.Record,
+		SparseFrontier: opt.SparseFrontier,
+	}
+	if opt.Sockets > 1 {
+		w := workers
+		if w < 1 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		per := w / opt.Sockets
+		if per < 1 {
+			per = 1
+		}
+		copt.Workers = per * opt.Sockets
+		copt.Topology = numa.Topology{Nodes: opt.Sockets, WorkersPerNode: per}
+	}
+	return &Engine{g: g, r: core.NewRunner(g.core, copt)}
+}
+
+// Close releases the engine's worker pool.
+func (e *Engine) Close() { e.r.Close() }
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Stats summarizes a run.
+type Stats struct {
+	// Iterations counts Edge+Vertex rounds; Pull/Push split them by engine.
+	Iterations, PullIterations, PushIterations int
+	// EdgeTime, VertexTime, and Total are wall-clock durations.
+	EdgeTime, VertexTime, Total time.Duration
+	// EdgeCounters and VertexCounters hold the perfmodel counters (zero
+	// unless Options.Record was set).
+	EdgeCounters, VertexCounters Counters
+}
+
+func statsOf(res core.Result) Stats {
+	return Stats{
+		Iterations:     res.Iterations,
+		PullIterations: res.PullIterations,
+		PushIterations: res.PushIterations,
+		EdgeTime:       res.EdgeTime,
+		VertexTime:     res.VertexTime,
+		Total:          res.Total,
+		EdgeCounters:   res.EdgeCounters,
+		VertexCounters: res.VertexCounters,
+	}
+}
+
+// PageRankResult holds damped PageRank output.
+type PageRankResult struct {
+	// Ranks is the per-vertex rank vector.
+	Ranks []float64
+	// Sum is the total rank mass — the artifact's correctness check,
+	// always very close to 1.0.
+	Sum float64
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// PageRank runs iters iterations of damped (0.85) PageRank with
+// dangling-mass redistribution.
+func (e *Engine) PageRank(iters int) PageRankResult {
+	res := core.Run(e.r, apps.NewPageRank(e.g.src), iters)
+	return PageRankResult{
+		Ranks: apps.Ranks(res.Props),
+		Sum:   apps.RankSum(res.Props),
+		Stats: statsOf(res),
+	}
+}
+
+// WeightedRank runs the Collaborative-Filtering-like weighted rank kernel
+// (§6: PageRank's access pattern with edge weights folded in). The graph
+// must be weighted.
+func (e *Engine) WeightedRank(iters int) (PageRankResult, error) {
+	if !e.g.Weighted() {
+		return PageRankResult{}, fmt.Errorf("grazelle: WeightedRank requires a weighted graph")
+	}
+	res := core.Run(e.r, apps.NewWeightedRank(e.g.src), iters)
+	return PageRankResult{
+		Ranks: apps.Ranks(res.Props),
+		Sum:   apps.RankSum(res.Props),
+		Stats: statsOf(res),
+	}, nil
+}
+
+// ComponentsResult holds Connected Components output.
+type ComponentsResult struct {
+	// Components maps each vertex to its component label (min-label
+	// propagation along directed edges; true components on symmetric
+	// graphs).
+	Components []uint32
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// ConnectedComponents runs min-label propagation to a fixpoint.
+func (e *Engine) ConnectedComponents() ComponentsResult {
+	res := core.Run(e.r, apps.NewConnComp(), 1<<30)
+	return ComponentsResult{Components: apps.Components(res.Props), Stats: statsOf(res)}
+}
+
+// NoParent marks an unreached vertex in BFSResult.Parents.
+const NoParent = int64(-1)
+
+// BFSResult holds Breadth-First Search output.
+type BFSResult struct {
+	// Parents maps each vertex to its BFS parent (the root is its own
+	// parent; unreached vertices hold NoParent).
+	Parents []int64
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// BFS runs breadth-first search from root.
+func (e *Engine) BFS(root uint32) BFSResult {
+	res := core.Run(e.r, apps.NewBFS(root), 1<<30)
+	parents := make([]int64, len(res.Props))
+	for i, p := range res.Props {
+		if p == apps.NoParent {
+			parents[i] = NoParent
+		} else {
+			parents[i] = int64(p)
+		}
+	}
+	return BFSResult{Parents: parents, Stats: statsOf(res)}
+}
+
+// SSSPResult holds Single-Source Shortest Paths output.
+type SSSPResult struct {
+	// Dist maps each vertex to its shortest-path distance from the root
+	// (+Inf when unreachable).
+	Dist []float64
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// SSSP runs synchronous Bellman-Ford from root over non-negative edge
+// weights. The graph must be weighted.
+func (e *Engine) SSSP(root uint32) (SSSPResult, error) {
+	if !e.g.Weighted() {
+		return SSSPResult{}, fmt.Errorf("grazelle: SSSP requires a weighted graph")
+	}
+	res := core.Run(e.r, apps.NewSSSP(root), 1<<30)
+	return SSSPResult{Dist: apps.Distances(res.Props), Stats: statsOf(res)}, nil
+}
+
+// Reachable reports how many vertices a BFS result visited.
+func (r BFSResult) Reachable() int {
+	n := 0
+	for _, p := range r.Parents {
+		if p != NoParent {
+			n++
+		}
+	}
+	return n
+}
+
+// NumComponents counts distinct labels in a components result.
+func (r ComponentsResult) NumComponents() int {
+	seen := make(map[uint32]struct{})
+	for _, c := range r.Components {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Finite reports how many vertices an SSSP result reached.
+func (r SSSPResult) Finite() int {
+	n := 0
+	for _, d := range r.Dist {
+		if !math.IsInf(d, 1) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+package apps
+
+// FusedKind identifies a program's aggregation pattern so engines can run a
+// fused, fully-inlined inner loop for it. This mirrors the original
+// Grazelle, whose Edge-phase kernels are hand-specialized per application
+// (2 KLOC of x86 assembly); Go's shape-based generics cannot monomorphize
+// the per-edge Message/Combine calls, so the engines instead recognize the
+// paper's aggregation operators and inline them. Semantics are identical to
+// Combine(acc, Message(srcVal, src, w)) — a property the tests enforce —
+// and FusedNone falls back to the generic calls.
+type FusedKind int
+
+const (
+	// FusedNone: no specialization; engines call Message/Combine per edge.
+	FusedNone FusedKind = iota
+	// FusedRankSum: float64 acc += props[src] · Scale[src] (· w when the
+	// program is weighted) — PageRank and WeightedRank.
+	FusedRankSum
+	// FusedMinProp: uint64 acc = min(acc, props[src]) — Connected
+	// Components.
+	FusedMinProp
+	// FusedMinSrc: uint64 acc = min(acc, src) — BFS parent selection.
+	FusedMinSrc
+	// FusedMinPropPlusW: float64 acc = min(acc, props[src] + w) — SSSP.
+	FusedMinPropPlusW
+)
+
+// Fused is the optional interface programs implement to advertise a fused
+// kernel. FusedScale returns the per-source scale vector for FusedRankSum
+// (nil otherwise).
+type Fused interface {
+	FusedKind() FusedKind
+	FusedScale() []float64
+}
+
+// KindOf resolves a program's fused kind and scale vector, defaulting to
+// FusedNone.
+func KindOf(p Program) (FusedKind, []float64) {
+	if f, ok := p.(Fused); ok {
+		return f.FusedKind(), f.FusedScale()
+	}
+	return FusedNone, nil
+}
+
+// FusedKind implements Fused.
+func (p *PageRank) FusedKind() FusedKind { return FusedRankSum }
+
+// FusedScale implements Fused.
+func (p *PageRank) FusedScale() []float64 { return p.invOutDeg }
+
+// FusedKind implements Fused.
+func (p *WeightedRank) FusedKind() FusedKind { return FusedRankSum }
+
+// FusedScale implements Fused.
+func (p *WeightedRank) FusedScale() []float64 { return p.invWOutDeg }
+
+// FusedKind implements Fused.
+func (c *ConnComp) FusedKind() FusedKind { return FusedMinProp }
+
+// FusedScale implements Fused.
+func (c *ConnComp) FusedScale() []float64 { return nil }
+
+// FusedKind implements Fused.
+func (b *BFS) FusedKind() FusedKind { return FusedMinSrc }
+
+// FusedScale implements Fused.
+func (b *BFS) FusedScale() []float64 { return nil }
+
+// FusedKind implements Fused.
+func (s *SSSP) FusedKind() FusedKind { return FusedMinPropPlusW }
+
+// FusedScale implements Fused.
+func (s *SSSP) FusedScale() []float64 { return nil }

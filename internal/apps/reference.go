@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file holds independent textbook implementations of each application,
+// written directly against the edge list with none of the repository's
+// engine machinery. They are the ground truth the sequential driver — and
+// transitively every engine — is validated against.
+
+// ReferencePageRank computes iters rounds of damped PageRank with uniform
+// initialization and dangling-mass redistribution.
+func ReferencePageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.NumVertices
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	outDeg := g.OutDegrees()
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v, d := range outDeg {
+			if d == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range g.Edges {
+			next[e.Dst] += damping * rank[e.Src] / float64(outDeg[e.Src])
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// ReferenceComponents computes min-label propagation along directed edges
+// to a fixpoint (true connected components when the graph is symmetric).
+func ReferenceComponents(g *graph.Graph) []uint32 {
+	labels := make([]uint32, g.NumVertices)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if labels[e.Src] < labels[e.Dst] {
+				labels[e.Dst] = labels[e.Src]
+				changed = true
+			}
+		}
+	}
+	return labels
+}
+
+// ReferenceBFS computes the synchronous-rounds BFS parent array the engines
+// produce: level by level, each newly-reached vertex adopts the minimum-id
+// predecessor from the previous frontier; the root is its own parent;
+// unreached vertices hold NoParent.
+func ReferenceBFS(g *graph.Graph, root uint32) []uint64 {
+	n := g.NumVertices
+	parents := make([]uint64, n)
+	for i := range parents {
+		parents[i] = NoParent
+	}
+	parents[root] = uint64(root)
+	// Out-adjacency for frontier expansion.
+	adj := make([][]uint32, n)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	cur := []uint32{root}
+	for len(cur) > 0 {
+		best := map[uint32]uint64{}
+		for _, s := range cur {
+			for _, d := range adj[s] {
+				if parents[d] != NoParent {
+					continue
+				}
+				if b, ok := best[d]; !ok || uint64(s) < b {
+					best[d] = uint64(s)
+				}
+			}
+		}
+		cur = cur[:0]
+		for d, p := range best {
+			parents[d] = p
+			cur = append(cur, d)
+		}
+	}
+	return parents
+}
+
+// ReferenceSSSP computes exact single-source shortest path distances by
+// Bellman-Ford over the weighted edge list. Unreached vertices hold +Inf.
+func ReferenceSSSP(g *graph.Graph, root uint32) []float64 {
+	n := g.NumVertices
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if nd := dist[e.Src] + float64(e.Weight); nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				changed = true
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"repro/internal/csr"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Result carries the output of a program run.
+type Result struct {
+	// Props holds the final per-vertex property lanes.
+	Props []uint64
+	// Iterations is the number of Edge+Vertex rounds executed.
+	Iterations int
+}
+
+// RunSequential executes a program with the canonical single-threaded
+// two-phase loop (Listing 2's pull pattern plus a Vertex phase). It is the
+// semantic specification every parallel engine and baseline is tested
+// against.
+func RunSequential(p Program, g *graph.Graph, maxIters int) Result {
+	csc := csr.FromGraph(g, true)
+	return RunSequentialCSC(p, csc, maxIters)
+}
+
+// RunSequentialCSC is RunSequential over a prebuilt by-destination matrix.
+func RunSequentialCSC(p Program, csc *csr.Matrix, maxIters int) Result {
+	n := csc.N
+	props := make([]uint64, n)
+	accum := make([]uint64, n)
+	p.InitProps(props)
+	front := frontier.NewDense(n)
+	conv := frontier.NewDense(n)
+	next := frontier.NewDense(n)
+	p.InitFrontier(front)
+	p.InitConverged(conv)
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+
+	iters := 0
+	for iters < maxIters {
+		if usesFrontier && front.Empty() {
+			break
+		}
+		p.PreIteration(props)
+		// Edge phase: pull along in-edges.
+		for v := uint32(0); int(v) < n; v++ {
+			acc := p.Identity()
+			if tracksConv && conv.Contains(v) {
+				accum[v] = acc
+				continue
+			}
+			neigh := csc.Edges(v)
+			weights := csc.EdgeWeights(v)
+			for i, s := range neigh {
+				if usesFrontier && !front.Contains(s) {
+					continue
+				}
+				var w float32
+				if weights != nil {
+					w = weights[i]
+				}
+				acc = p.Combine(acc, p.Message(props[s], s, w))
+			}
+			accum[v] = acc
+		}
+		// Vertex phase.
+		next.Clear()
+		for v := uint32(0); int(v) < n; v++ {
+			nv, changed := p.Apply(props[v], accum[v], v)
+			props[v] = nv
+			if changed {
+				next.Add(v)
+				if tracksConv {
+					conv.Add(v)
+				}
+			}
+		}
+		front.CopyFrom(next)
+		iters++
+	}
+	return Result{Props: props, Iterations: iters}
+}

@@ -1,0 +1,141 @@
+// Package base holds the execution state shared by the reimplemented
+// comparison frameworks (Ligra, Polymer, GraphMat, X-Stream). Each framework
+// keeps its own engine pattern — that is the variable Figs 11–13 isolate —
+// but property arrays, frontier bookkeeping, and the synchronous Vertex
+// phase are common scaffolding.
+package base
+
+import (
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/frontier"
+	"repro/internal/sched"
+)
+
+// State is the per-run mutable state of a baseline framework.
+type State struct {
+	// N is the vertex count.
+	N int
+	// Props and Accum are the property and aggregation lanes.
+	Props, Accum []uint64
+	// Front, Next, and Conv are the current frontier, the frontier under
+	// construction, and the converged set.
+	Front, Next, Conv *frontier.Dense
+	// Pool is the worker pool shared by all phases.
+	Pool *sched.Pool
+}
+
+// NewState allocates state for n vertices on the given pool.
+func NewState(n int, pool *sched.Pool) *State {
+	return &State{
+		N:     n,
+		Props: make([]uint64, n),
+		Accum: make([]uint64, n),
+		Front: frontier.NewDense(n),
+		Next:  frontier.NewDense(n),
+		Conv:  frontier.NewDense(n),
+		Pool:  pool,
+	}
+}
+
+// Init resets the state for a fresh run of p.
+func (s *State) Init(p apps.Program) {
+	p.InitProps(s.Props)
+	id := p.Identity()
+	for i := range s.Accum {
+		s.Accum[i] = id
+	}
+	s.Front.Clear()
+	s.Next.Clear()
+	s.Conv.Clear()
+	p.InitFrontier(s.Front)
+	p.InitConverged(s.Conv)
+}
+
+// CASCombine merges msg into addr with a compare-and-swap loop, optionally
+// skipping the write when the combined value is unchanged.
+func CASCombine(p apps.Program, addr *uint64, msg uint64, skipEqual bool) {
+	for {
+		old := atomic.LoadUint64(addr)
+		merged := p.Combine(old, msg)
+		if skipEqual && merged == old {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, merged) {
+			return
+		}
+	}
+}
+
+// ApplyAll runs the Vertex phase over every vertex in parallel, resets the
+// accumulators, rebuilds the next frontier, and swaps it in. It returns the
+// number of changed vertices.
+func (s *State) ApplyAll(p apps.Program) int {
+	identity := p.Identity()
+	tracksConv := p.TracksConverged()
+	s.Next.Clear()
+	nextWords := s.Next.Words()
+	convWords := s.Conv.Words()
+	var changed atomic.Int64
+	s.Pool.StaticFor(s.N, func(rg sched.Range, tid int) {
+		local := int64(0)
+		for v := rg.Lo; v < rg.Hi; v++ {
+			nv, ch := p.Apply(s.Props[v], s.Accum[v], uint32(v))
+			s.Props[v] = nv
+			s.Accum[v] = identity
+			if ch {
+				local++
+				atomic.OrUint64(&nextWords[v>>6], 1<<(uint(v)&63))
+				if tracksConv {
+					atomic.OrUint64(&convWords[v>>6], 1<<(uint(v)&63))
+				}
+			}
+		}
+		changed.Add(local)
+	})
+	s.Front, s.Next = s.Next, s.Front
+	return int(changed.Load())
+}
+
+// ApplyCandidates runs the Vertex phase over a deduplicated candidate list
+// only — the sparse-mode apply, where vertices that received no message
+// cannot change. Candidates must be unique.
+func (s *State) ApplyCandidates(p apps.Program, cands []uint32) int {
+	identity := p.Identity()
+	tracksConv := p.TracksConverged()
+	s.Next.Clear()
+	nextWords := s.Next.Words()
+	convWords := s.Conv.Words()
+	var changed atomic.Int64
+	s.Pool.StaticFor(len(cands), func(rg sched.Range, tid int) {
+		local := int64(0)
+		for i := rg.Lo; i < rg.Hi; i++ {
+			v := cands[i]
+			nv, ch := p.Apply(s.Props[v], s.Accum[v], v)
+			s.Props[v] = nv
+			s.Accum[v] = identity
+			if ch {
+				local++
+				atomic.OrUint64(&nextWords[v>>6], 1<<(v&63))
+				if tracksConv {
+					atomic.OrUint64(&convWords[v>>6], 1<<(v&63))
+				}
+			}
+		}
+		changed.Add(local)
+	})
+	s.Front, s.Next = s.Next, s.Front
+	return int(changed.Load())
+}
+
+// Result packages a finished baseline run.
+type Result struct {
+	// Props holds final property lanes.
+	Props []uint64
+	// Iterations counts Edge+Vertex rounds.
+	Iterations int
+	// SparseIterations counts rounds served by a sparse (push) engine, for
+	// frameworks that switch representations.
+	SparseIterations int
+}

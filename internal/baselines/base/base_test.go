@@ -1,0 +1,133 @@
+package base
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func withState(t *testing.T, n int) (*State, func()) {
+	t.Helper()
+	pool := sched.NewPool(2)
+	return NewState(n, pool), pool.Close
+}
+
+func TestInitResetsEverything(t *testing.T) {
+	st, done := withState(t, 50)
+	defer done()
+	p := apps.NewBFS(3)
+	st.Init(p)
+	if st.Props[3] != 3 || st.Props[0] != apps.NoParent {
+		t.Error("props not initialized")
+	}
+	if !st.Front.Contains(3) || st.Front.Count() != 1 {
+		t.Error("frontier not seeded")
+	}
+	if !st.Conv.Contains(3) {
+		t.Error("converged not seeded")
+	}
+	for v, a := range st.Accum {
+		if a != p.Identity() {
+			t.Fatalf("accum[%d] = %#x", v, a)
+		}
+	}
+	// Re-init with a different program fully resets.
+	g := gen.ErdosRenyi(50, 100, 1)
+	st.Init(apps.NewPageRank(g))
+	if st.Front.Count() != 50 {
+		t.Error("re-init frontier wrong")
+	}
+}
+
+func TestCASCombineConcurrentMin(t *testing.T) {
+	p := apps.NewConnComp()
+	var slot uint64 = ^uint64(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				CASCombine(p, &slot, uint64(w*1000+i), true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if slot != 0 {
+		t.Errorf("concurrent min = %d, want 0", slot)
+	}
+}
+
+func TestApplyAllBuildsFrontier(t *testing.T) {
+	st, done := withState(t, 40)
+	defer done()
+	p := apps.NewConnComp()
+	st.Init(p)
+	// Feed aggregates: vertices 0..9 get label 0 (changed for 1..9), rest
+	// identity.
+	for v := 1; v < 10; v++ {
+		st.Accum[v] = 0
+	}
+	changed := st.ApplyAll(p)
+	if changed != 9 {
+		t.Errorf("changed = %d, want 9", changed)
+	}
+	if st.Front.Count() != 9 || st.Front.Contains(0) || !st.Front.Contains(5) {
+		t.Errorf("frontier wrong: count %d", st.Front.Count())
+	}
+	// Accumulators reset.
+	for v, a := range st.Accum {
+		if a != p.Identity() {
+			t.Fatalf("accum[%d] not reset", v)
+		}
+	}
+}
+
+func TestApplyCandidatesOnlyTouchesCandidates(t *testing.T) {
+	st, done := withState(t, 30)
+	defer done()
+	p := apps.NewBFS(0)
+	st.Init(p)
+	st.Accum[5] = 0 // message: parent candidate 0
+	st.Accum[9] = 0
+	changed := st.ApplyCandidates(p, []uint32{5, 9})
+	if changed != 2 {
+		t.Errorf("changed = %d, want 2", changed)
+	}
+	if st.Props[5] != 0 || st.Props[9] != 0 {
+		t.Error("candidates not applied")
+	}
+	if !st.Conv.Contains(5) || !st.Conv.Contains(9) {
+		t.Error("converged not tracked")
+	}
+	if !st.Front.Contains(5) || st.Front.Count() != 2 {
+		t.Error("next frontier wrong")
+	}
+}
+
+func TestApplyAllParallelMatchesSerial(t *testing.T) {
+	g := gen.RMAT(8, 1000, gen.DefaultRMAT, 4)
+	serialPool := sched.NewPool(1)
+	parallelPool := sched.NewPool(4)
+	defer serialPool.Close()
+	defer parallelPool.Close()
+	mk := func(pool *sched.Pool) []uint64 {
+		st := NewState(g.NumVertices, pool)
+		p := apps.NewConnComp()
+		st.Init(p)
+		for v := 0; v < g.NumVertices; v += 3 {
+			st.Accum[v] = uint64(v % 7)
+		}
+		st.ApplyAll(p)
+		return st.Props
+	}
+	a, b := mk(serialPool), mk(parallelPool)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("parallel ApplyAll diverges at %d", v)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package graphmat reimplements the engine pattern of GraphMat (Sundaram et
+// al., VLDB '15): graph applications mapped onto generalized sparse
+// matrix-vector multiplication. The frontier is a sparse vector mask over a
+// full-length scan — SpMV iterates the whole dimension and tests activity
+// per element, which is exactly the frontier-handling inefficiency §6.3
+// reports ("built on an engine intended for sparse matrix-vector
+// multiplication and therefore does not handle the frontier as efficiently").
+// Edges are indexed with 32-bit signed integers, reproducing the overflow
+// that prevents GraphMat from loading uk-2007's 3.7 B edges.
+package graphmat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/baselines/base"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Pool supplies workers; if nil one is created with Workers workers.
+	Pool    *sched.Pool
+	Workers int
+	// MaxEdges caps the loadable edge count. The default is MaxInt32,
+	// GraphMat 1.0's hard limit; tests lower it to exercise the guard.
+	MaxEdges int64
+}
+
+// ErrTooManyEdges is returned when a graph exceeds the int32 edge-index
+// space — the failure the paper reports for GraphMat on uk-2007.
+var ErrTooManyEdges = fmt.Errorf("graphmat: edge count exceeds 32-bit index space")
+
+// Engine is a prepared GraphMat instance for one graph.
+type Engine struct {
+	pool    *sched.Pool
+	ownPool bool
+	// The sparse matrix in 32-bit-indexed CSR form (sources × destinations).
+	index []int32
+	neigh []uint32
+	w     []float32
+	st    *base.State
+}
+
+// New prepares an engine, failing if the graph overflows 32-bit edge
+// indexing.
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	maxEdges := cfg.MaxEdges
+	if maxEdges == 0 {
+		maxEdges = math.MaxInt32
+	}
+	if int64(g.NumEdges()) > maxEdges {
+		return nil, fmt.Errorf("%w: %d edges > %d", ErrTooManyEdges, g.NumEdges(), maxEdges)
+	}
+	e := &Engine{}
+	if cfg.Pool != nil {
+		e.pool = cfg.Pool
+	} else {
+		e.pool = sched.NewPool(cfg.Workers)
+		e.ownPool = true
+	}
+	// Build the int32-indexed CSR directly.
+	n := g.NumVertices
+	e.index = make([]int32, n+1)
+	for _, edge := range g.Edges {
+		e.index[edge.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		e.index[v+1] += e.index[v]
+	}
+	e.neigh = make([]uint32, g.NumEdges())
+	if g.Weighted {
+		e.w = make([]float32, g.NumEdges())
+	}
+	cursor := make([]int32, n)
+	copy(cursor, e.index[:n])
+	for _, edge := range g.Edges {
+		pos := cursor[edge.Src]
+		cursor[edge.Src]++
+		e.neigh[pos] = edge.Dst
+		if g.Weighted {
+			e.w[pos] = edge.Weight
+		}
+	}
+	e.st = base.NewState(n, e.pool)
+	return e, nil
+}
+
+// Close releases the engine's pool if it owns one.
+func (e *Engine) Close() {
+	if e.ownPool {
+		e.pool.Close()
+	}
+}
+
+// Name identifies the framework.
+func (e *Engine) Name() string { return "GraphMat" }
+
+// Run executes p for at most maxIters SpMV rounds.
+func (e *Engine) Run(p apps.Program, maxIters int) base.Result {
+	e.st.Init(p)
+	var res base.Result
+	usesFrontier := p.UsesFrontier()
+	for res.Iterations < maxIters {
+		if usesFrontier && e.st.Front.Empty() {
+			break
+		}
+		p.PreIteration(e.st.Props)
+		e.spmv(p)
+		// SpMV applies over the full vector regardless of frontier size —
+		// the structural inefficiency mirrored from GraphMat.
+		e.st.ApplyAll(p)
+		res.Iterations++
+	}
+	res.Props = e.st.Props
+	return res
+}
+
+// spmv is the generalized masked sparse matrix-vector product: scan every
+// row (source vertex), test the mask bit, and scatter the row's non-zeros
+// with atomics.
+func (e *Engine) spmv(p apps.Program) {
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && e.w != nil
+	n := e.st.N
+	chunk := sched.ChunkSize(n, sched.DefaultChunks(e.pool.Workers()))
+	e.pool.DynamicFor(n, chunk, func(rg sched.Range, _, _ int) {
+		for v := rg.Lo; v < rg.Hi; v++ {
+			src := uint32(v)
+			if usesFrontier && !e.st.Front.Contains(src) {
+				continue
+			}
+			srcVal := e.st.Props[src]
+			for i := e.index[v]; i < e.index[v+1]; i++ {
+				dst := e.neigh[i]
+				if tracksConv && e.st.Conv.Contains(dst) {
+					continue
+				}
+				var w float32
+				if weighted {
+					w = e.w[i]
+				}
+				base.CASCombine(p, &e.st.Accum[dst], p.Message(srcVal, src, w), skipEqual)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package graphmat
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestInt32CSRConstruction(t *testing.T) {
+	g := graph.NewBuilder(4).
+		AddEdge(0, 1).AddEdge(0, 2).AddEdge(2, 3).AddEdge(3, 0).
+		MustBuild()
+	e, err := New(g, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.index) != 5 || e.index[4] != 4 {
+		t.Fatalf("index = %v", e.index)
+	}
+	// Vertex 0's row holds {1,2}.
+	row0 := e.neigh[e.index[0]:e.index[1]]
+	if len(row0) != 2 {
+		t.Fatalf("row 0 = %v", row0)
+	}
+	if e.Name() != "GraphMat" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEdgeLimitBoundary(t *testing.T) {
+	g := gen.ErdosRenyi(20, 100, 1)
+	if _, err := New(g, Config{Workers: 1, MaxEdges: 99}); !errors.Is(err, ErrTooManyEdges) {
+		t.Errorf("99-edge cap: err = %v", err)
+	}
+	if _, err := New(g, Config{Workers: 1, MaxEdges: 100}); err != nil {
+		t.Errorf("100-edge cap rejected a 100-edge graph: %v", err)
+	}
+}
+
+func TestWeightsPreserved(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid(5, 5, false, 1), 2)
+	e, err := New(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got := apps.Distances(e.Run(apps.NewSSSP(0), 1<<20).Props)
+	want := apps.ReferenceSSSP(g, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFullVectorApplySemantics(t *testing.T) {
+	// GraphMat applies over the full vector each round; results must still
+	// match the reference even for frontier-driven programs.
+	g := gen.RMAT(7, 600, gen.DefaultRMAT, 5)
+	e, err := New(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got := e.Run(apps.NewBFS(0), 1<<20)
+	want := apps.ReferenceBFS(g, 0)
+	for v := range want {
+		if got.Props[v] != want[v] {
+			t.Fatalf("parent[%d] = %d, want %d", v, got.Props[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestSearchOffsets(t *testing.T) {
+	// offsets for degrees [3, 0, 2, 5]: [0 3 3 5 10]
+	offsets := []int{0, 3, 3, 5, 10}
+	cases := map[int]int{0: 0, 1: 0, 2: 0, 3: 2, 4: 2, 5: 3, 9: 3}
+	for pos, want := range cases {
+		if got := searchOffsets(offsets, pos); got != want {
+			t.Errorf("searchOffsets(%d) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func TestSearchOffsetsProperty(t *testing.T) {
+	f := func(degsRaw []uint8, posRaw uint16) bool {
+		if len(degsRaw) == 0 {
+			return true
+		}
+		offsets := make([]int, len(degsRaw)+1)
+		for i, d := range degsRaw {
+			offsets[i+1] = offsets[i] + int(d%7)
+		}
+		total := offsets[len(offsets)-1]
+		if total == 0 {
+			return true
+		}
+		pos := int(posRaw) % total
+		vi := searchOffsets(offsets, pos)
+		return offsets[vi] <= pos && pos < offsets[vi+1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopConfigStrings(t *testing.T) {
+	want := map[LoopConfig]string{
+		PushS:            "PushS",
+		PushP:            "PushP",
+		PushPPullS:       "PushP+PullS",
+		PushPPullP:       "PushP+PullP",
+		PushPPullPNoSync: "PushP+PullP-NoSync",
+	}
+	for lc, s := range want {
+		if lc.String() != s {
+			t.Errorf("String(%d) = %q, want %q", lc, lc.String(), s)
+		}
+	}
+	if PushS.pullEnabled() || PushP.pullEnabled() {
+		t.Error("push-only configs report pull enabled")
+	}
+	if !PushPPullS.pullEnabled() {
+		t.Error("PushP+PullS should enable pull")
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Workers: 1}, "Ligra"},
+		{Config{Workers: 1, Mode: ForceDensePull}, "Ligra-Dense"},
+		{Config{Workers: 1, Mode: ForcePush}, "Ligra-Push"},
+		{Config{Workers: 1, Loops: PushS}, "Ligra[PushS]"},
+	}
+	for _, c := range cases {
+		e := New(g, c.cfg)
+		if e.Name() != c.want {
+			t.Errorf("Name = %q, want %q", e.Name(), c.want)
+		}
+		e.Close()
+	}
+}
+
+// TestSparsePushEdgeBalancedMatchesSerial checks the PushP flattened
+// scatter against the PushS per-vertex scatter on a skewed frontier.
+func TestSparsePushEdgeBalancedMatchesSerial(t *testing.T) {
+	g := gen.RMAT(9, 4000, gen.RMATParams{A: 0.65, B: 0.17, C: 0.12, D: 0.06}, 3)
+	run := func(lc LoopConfig) []uint64 {
+		e := New(g, Config{Workers: 4, Loops: lc, ThresholdDivisor: 1})
+		defer e.Close()
+		// ThresholdDivisor 1 makes the sparse path trigger whenever
+		// |F|+edges <= E, i.e. on later BFS rounds.
+		res := e.Run(apps.NewBFS(0), 1<<20)
+		return res.Props
+	}
+	a := run(PushS)
+	b := run(PushP)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("PushS and PushP disagree at %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestThresholdControlsEngineChoice(t *testing.T) {
+	// Star graph: hub 0 points at everyone; BFS frontier after round 1 is
+	// huge. A tiny divisor keeps Ligra sparse; a huge one forces dense.
+	b := graph.NewBuilder(200)
+	for v := uint32(1); v < 200; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.MustBuild()
+	sparse := New(g, Config{Workers: 2, ThresholdDivisor: 1})
+	defer sparse.Close()
+	if res := sparse.Run(apps.NewBFS(0), 1<<20); res.SparseIterations == 0 {
+		t.Error("divisor 1 never went sparse")
+	}
+	dense := New(g, Config{Workers: 2, Mode: ForceDensePull})
+	defer dense.Close()
+	if res := dense.Run(apps.NewBFS(0), 1<<20); res.SparseIterations != 0 {
+		t.Error("forced dense went sparse")
+	}
+}
+
+func TestWeightedSSSPThroughLigra(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid(7, 7, false, 1), 2)
+	e := New(g, Config{Workers: 2})
+	defer e.Close()
+	got := apps.Distances(e.Run(apps.NewSSSP(0), 1<<20).Props)
+	want := apps.ReferenceSSSP(g, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestEdgeDstLazyCache(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 5)
+	e := New(g, Config{Workers: 1})
+	defer e.Close()
+	a := e.edgeDst()
+	b := e.edgeDst()
+	if &a[0] != &b[0] {
+		t.Error("edgeDst rebuilt instead of cached")
+	}
+	// Spot check correctness: destinations ascend with CSC position.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("edgeDst not grouped ascending by destination")
+		}
+	}
+}
+
+func TestEmptyFrontierSparsePush(t *testing.T) {
+	// BFS from an isolated vertex terminates after one apply round.
+	b := graph.NewBuilder(5)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	e := New(g, Config{Workers: 2})
+	defer e.Close()
+	res := e.Run(apps.NewBFS(0), 1<<20)
+	if res.Props[0] != 0 {
+		t.Error("root lost")
+	}
+	for v := 1; v < 5; v++ {
+		if res.Props[v] != apps.NoParent {
+			t.Errorf("vertex %d should be unreachable", v)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package polymer reimplements the engine pattern of Polymer (Zhang, Chen &
+// Chen, PPoPP '15), Ligra's NUMA-aware derivative: vertices and their edges
+// are partitioned across NUMA nodes, each node's workers process only
+// node-local top-level vertices, and property arrays are distributed by the
+// same map. Per the paper's observations (§6.3), its PageRank implementation
+// is exclusively push-based and its Breadth-First Search exclusively
+// pull-based; this reimplementation selects push for everything except
+// converge-tracking programs (BFS), which run pull. Frontiers are dense
+// bitmasks only.
+package polymer
+
+import (
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/baselines/base"
+	"repro/internal/csr"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Pool supplies workers; if nil one is created with
+	// Topology.TotalWorkers workers.
+	Pool *sched.Pool
+	// Topology is the simulated NUMA layout (defaults to one node with
+	// GOMAXPROCS workers).
+	Topology numa.Topology
+}
+
+// Engine is a prepared Polymer instance for one graph.
+type Engine struct {
+	pool    *sched.Pool
+	ownPool bool
+	topo    numa.Topology
+	csrM    *csr.Matrix
+	cscM    *csr.Matrix
+	st      *base.State
+	part    numa.Partition
+}
+
+// New prepares an engine for g.
+func New(g *graph.Graph, cfg Config) *Engine {
+	e := &Engine{topo: cfg.Topology}
+	if e.topo.Nodes == 0 {
+		e.topo = numa.SingleNode(0)
+		if cfg.Pool != nil {
+			e.topo.WorkersPerNode = cfg.Pool.Workers()
+		}
+	}
+	if cfg.Pool != nil {
+		e.pool = cfg.Pool
+	} else {
+		e.pool = sched.NewPool(e.topo.TotalWorkers())
+		e.ownPool = true
+	}
+	if e.topo.WorkersPerNode == 0 {
+		e.topo.WorkersPerNode = e.pool.Workers() / e.topo.Nodes
+	}
+	e.csrM = csr.FromGraph(g, false)
+	e.cscM = csr.FromGraph(g, true)
+	e.st = base.NewState(g.NumVertices, e.pool)
+	e.part = numa.PartitionEven(g.NumVertices, e.topo.Nodes)
+	return e
+}
+
+// Close releases the engine's pool if it owns one.
+func (e *Engine) Close() {
+	if e.ownPool {
+		e.pool.Close()
+	}
+}
+
+// Name identifies the framework.
+func (e *Engine) Name() string { return "Polymer" }
+
+// Run executes p for at most maxIters rounds.
+func (e *Engine) Run(p apps.Program, maxIters int) base.Result {
+	e.st.Init(p)
+	var res base.Result
+	usesFrontier := p.UsesFrontier()
+	usePull := p.TracksConverged()
+	for res.Iterations < maxIters {
+		if usesFrontier && e.st.Front.Empty() {
+			break
+		}
+		p.PreIteration(e.st.Props)
+		if usePull {
+			e.pullPhase(p)
+		} else {
+			e.pushPhase(p)
+		}
+		e.st.ApplyAll(p)
+		res.Iterations++
+	}
+	res.Props = e.st.Props
+	return res
+}
+
+// dispatchByNode hands chunks of each node's vertex range only to that
+// node's workers — Polymer's node-local work assignment.
+func (e *Engine) dispatchByNode(body func(rg sched.Range, node int)) {
+	type counter struct {
+		next int64
+		_    [56]byte
+	}
+	counters := make([]counter, e.topo.Nodes)
+	chunk := sched.ChunkSize(e.st.N/e.topo.Nodes+1, sched.DefaultChunks(e.topo.WorkersPerNode))
+	e.pool.Run(func(tid int) {
+		node := e.topo.NodeOf(tid)
+		lo, hi := e.part.Range(node)
+		n := hi - lo
+		numChunks := sched.NumChunks(n, chunk)
+		for {
+			id := int(atomic.AddInt64(&counters[node].next, 1)) - 1
+			if id >= numChunks {
+				return
+			}
+			clo := lo + id*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			body(sched.Range{Lo: clo, Hi: chi}, node)
+		}
+	})
+}
+
+// pushPhase scatters from node-owned sources with atomics (updates may
+// cross node boundaries — the remote traffic Polymer's partitioning
+// reduces but cannot eliminate).
+func (e *Engine) pushPhase(p apps.Program) {
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && e.csrM.Weights != nil
+	e.dispatchByNode(func(rg sched.Range, _ int) {
+		for v := rg.Lo; v < rg.Hi; v++ {
+			src := uint32(v)
+			if usesFrontier && !e.st.Front.Contains(src) {
+				continue
+			}
+			srcVal := e.st.Props[src]
+			neigh := e.csrM.Edges(src)
+			var ws []float32
+			if weighted {
+				ws = e.csrM.EdgeWeights(src)
+			}
+			for i, dst := range neigh {
+				if tracksConv && e.st.Conv.Contains(dst) {
+					continue
+				}
+				var w float32
+				if ws != nil {
+					w = ws[i]
+				}
+				base.CASCombine(p, &e.st.Accum[dst], p.Message(srcVal, src, w), skipEqual)
+			}
+		}
+	})
+}
+
+// pullPhase aggregates into node-owned destinations with a sequential
+// inner loop (no synchronization; each destination is owned by one task).
+func (e *Engine) pullPhase(p apps.Program) {
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	weighted := p.Weighted() && e.cscM.Weights != nil
+	identity := p.Identity()
+	e.dispatchByNode(func(rg sched.Range, _ int) {
+		for v := rg.Lo; v < rg.Hi; v++ {
+			dst := uint32(v)
+			if tracksConv && e.st.Conv.Contains(dst) {
+				continue
+			}
+			acc := identity
+			neigh := e.cscM.Edges(dst)
+			var ws []float32
+			if weighted {
+				ws = e.cscM.EdgeWeights(dst)
+			}
+			for i, s := range neigh {
+				if usesFrontier && !e.st.Front.Contains(s) {
+					continue
+				}
+				var w float32
+				if ws != nil {
+					w = ws[i]
+				}
+				acc = p.Combine(acc, p.Message(e.st.Props[s], s, w))
+			}
+			if acc != identity {
+				e.st.Accum[dst] = p.Combine(e.st.Accum[dst], acc)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package polymer
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+func TestEngineSelection(t *testing.T) {
+	// Per §6.3: Polymer runs PageRank push-based and BFS pull-based. The
+	// reimplementation keys on TracksConverged; verify both paths compute
+	// correct results (engine choice itself is internal).
+	g := gen.RMAT(7, 800, gen.DefaultRMAT, 1)
+	e := New(g, Config{Topology: numa.Topology{Nodes: 2, WorkersPerNode: 1}})
+	defer e.Close()
+
+	pr := e.Run(apps.NewPageRank(g), 6)
+	want := apps.Ranks(apps.RunSequential(apps.NewPageRank(g), g, 6).Props)
+	got := apps.Ranks(pr.Props)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-10*(1+want[v]) {
+			t.Fatalf("push PR: rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+
+	bfs := e.Run(apps.NewBFS(0), 1<<20)
+	wantB := apps.ReferenceBFS(g, 0)
+	for v := range wantB {
+		if bfs.Props[v] != wantB[v] {
+			t.Fatalf("pull BFS: parent[%d] = %d, want %d", v, bfs.Props[v], wantB[v])
+		}
+	}
+	if e.Name() != "Polymer" {
+		t.Error("name wrong")
+	}
+}
+
+func TestNodeLocalDispatchCoversAllVertices(t *testing.T) {
+	g := gen.ErdosRenyi(257, 1000, 2) // odd count: uneven partitions
+	e := New(g, Config{Topology: numa.Topology{Nodes: 3, WorkersPerNode: 1}})
+	defer e.Close()
+	var mu sync.Mutex
+	seen := make([]int, g.NumVertices)
+	nodeOf := make([]int, g.NumVertices)
+	e.dispatchByNode(func(rg sched.Range, node int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for v := rg.Lo; v < rg.Hi; v++ {
+			seen[v]++
+			nodeOf[v] = node
+		}
+	})
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("vertex %d dispatched %d times", v, n)
+		}
+	}
+	// Every vertex must be handled by the node owning its partition.
+	for v := range nodeOf {
+		if want := e.part.Owner(v); nodeOf[v] != want {
+			t.Fatalf("vertex %d processed by node %d, owner %d", v, nodeOf[v], want)
+		}
+	}
+}
+
+func TestDefaultTopology(t *testing.T) {
+	g := gen.ErdosRenyi(20, 50, 1)
+	e := New(g, Config{})
+	defer e.Close()
+	if e.topo.Nodes != 1 || e.topo.TotalWorkers() < 1 {
+		t.Errorf("default topology = %+v", e.topo)
+	}
+}

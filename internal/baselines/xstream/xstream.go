@@ -1,0 +1,181 @@
+// Package xstream reimplements the engine pattern of X-Stream (Roy,
+// Mihailovic & Zwaenepoel, SOSP '13): edge-centric scatter-gather over
+// streaming partitions. The unordered edge list is cut into partitions by
+// source-vertex range; each iteration streams every partition's edges
+// (scatter), routing updates through in-memory shuffle buffers to the
+// partition owning each destination, which then streams its update buffer
+// (gather). The update traffic through the shuffle — every live edge's
+// contribution is written to and re-read from memory — is the structural
+// overhead behind X-Stream's uncompetitive times in Figs 11–13, and an
+// update targeting one vertex costs processing of its whole partition.
+// X-Stream requires a power-of-two thread count (§6.3's footnote); New
+// rounds the worker count down accordingly.
+package xstream
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/baselines/base"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers is the requested thread count; it is rounded down to a power
+	// of two. Zero selects GOMAXPROCS (then rounded).
+	Workers int
+	// PartitionVertices is the number of vertices per streaming partition
+	// (the knob standing in for "cache-sized"); default 4096.
+	PartitionVertices int
+}
+
+// update is one shuffled message: a destination and its combined payload.
+type update struct {
+	dst uint32
+	val uint64
+}
+
+// Engine is a prepared X-Stream instance for one graph.
+type Engine struct {
+	pool      *sched.Pool
+	workers   int
+	numParts  int
+	partition numa.Partition // vertex ranges per partition
+	// edges grouped by source partition (within a partition, unordered —
+	// X-Stream never sorts edges).
+	partEdges [][]graph.Edge
+	// shuffle buffers: one slice of updates per destination partition,
+	// appended under a per-partition lock during scatter.
+	updates []partUpdates
+	st      *base.State
+}
+
+type partUpdates struct {
+	mu  sync.Mutex
+	buf []update
+	_   [40]byte // separate hot locks
+}
+
+// New prepares an engine for g.
+func New(g *graph.Graph, cfg Config) *Engine {
+	e := &Engine{}
+	w := cfg.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e.workers = floorPow2(w)
+	e.pool = sched.NewPool(e.workers)
+	pv := cfg.PartitionVertices
+	if pv <= 0 {
+		pv = 4096
+	}
+	e.numParts = (g.NumVertices + pv - 1) / pv
+	if e.numParts < 1 {
+		e.numParts = 1
+	}
+	e.partition = numa.PartitionEven(g.NumVertices, e.numParts)
+	e.partEdges = make([][]graph.Edge, e.numParts)
+	for _, edge := range g.Edges {
+		part := e.partition.Owner(int(edge.Src))
+		e.partEdges[part] = append(e.partEdges[part], edge)
+	}
+	e.updates = make([]partUpdates, e.numParts)
+	e.st = base.NewState(g.NumVertices, e.pool)
+	return e
+}
+
+// Close releases the engine's pool.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Name identifies the framework.
+func (e *Engine) Name() string { return "X-Stream" }
+
+// Workers returns the effective (power-of-two) worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Partitions returns the streaming partition count.
+func (e *Engine) Partitions() int { return e.numParts }
+
+// Run executes p for at most maxIters scatter-shuffle-gather rounds.
+func (e *Engine) Run(p apps.Program, maxIters int) base.Result {
+	e.st.Init(p)
+	var res base.Result
+	usesFrontier := p.UsesFrontier()
+	for res.Iterations < maxIters {
+		if usesFrontier && e.st.Front.Empty() {
+			break
+		}
+		p.PreIteration(e.st.Props)
+		e.scatter(p)
+		e.gather(p)
+		e.st.ApplyAll(p)
+		res.Iterations++
+	}
+	res.Props = e.st.Props
+	return res
+}
+
+// scatter streams each source partition's edges, producing updates into the
+// destination partitions' shuffle buffers. Each worker batches per
+// destination partition locally and appends under the partition lock.
+func (e *Engine) scatter(p apps.Program) {
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	weighted := p.Weighted()
+	e.pool.DynamicFor(e.numParts, 1, func(rg sched.Range, _, _ int) {
+		local := make([][]update, e.numParts)
+		for part := rg.Lo; part < rg.Hi; part++ {
+			for _, edge := range e.partEdges[part] {
+				if usesFrontier && !e.st.Front.Contains(edge.Src) {
+					continue
+				}
+				if tracksConv && e.st.Conv.Contains(edge.Dst) {
+					continue
+				}
+				var w float32
+				if weighted {
+					w = edge.Weight
+				}
+				msg := p.Message(e.st.Props[edge.Src], edge.Src, w)
+				dp := e.partition.Owner(int(edge.Dst))
+				local[dp] = append(local[dp], update{dst: edge.Dst, val: msg})
+			}
+		}
+		for dp := range local {
+			if len(local[dp]) == 0 {
+				continue
+			}
+			e.updates[dp].mu.Lock()
+			e.updates[dp].buf = append(e.updates[dp].buf, local[dp]...)
+			e.updates[dp].mu.Unlock()
+		}
+	})
+}
+
+// gather streams each destination partition's update buffer into the
+// accumulators. A partition is processed by exactly one task, so no
+// synchronization is needed within it.
+func (e *Engine) gather(p apps.Program) {
+	e.pool.DynamicFor(e.numParts, 1, func(rg sched.Range, _, _ int) {
+		for part := rg.Lo; part < rg.Hi; part++ {
+			u := &e.updates[part]
+			for _, up := range u.buf {
+				e.st.Accum[up.dst] = p.Combine(e.st.Accum[up.dst], up.val)
+			}
+			u.buf = u.buf[:0]
+		}
+	})
+}
+
+// floorPow2 returns the largest power of two not exceeding n (minimum 1).
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,102 @@
+package xstream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestFloorPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 7: 4, 8: 8, 9: 8, 16: 16, 100: 64}
+	for in, want := range cases {
+		if got := floorPow2(in); got != want {
+			t.Errorf("floorPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFloorPow2Property(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%10000 + 1
+		p := floorPow2(n)
+		return p <= n && p*2 > n && p&(p-1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesRoutedToSourcePartition(t *testing.T) {
+	g := gen.ErdosRenyi(1000, 4000, 1)
+	e := New(g, Config{Workers: 2, PartitionVertices: 100})
+	defer e.Close()
+	if e.Partitions() != 10 {
+		t.Fatalf("partitions = %d", e.Partitions())
+	}
+	total := 0
+	for part, edges := range e.partEdges {
+		lo, hi := e.partition.Range(part)
+		for _, edge := range edges {
+			if int(edge.Src) < lo || int(edge.Src) >= hi {
+				t.Fatalf("edge with source %d stored in partition [%d,%d)", edge.Src, lo, hi)
+			}
+		}
+		total += len(edges)
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("partitions hold %d edges, want %d", total, g.NumEdges())
+	}
+}
+
+func TestUpdateBuffersDrainedBetweenIterations(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1000, 2)
+	e := New(g, Config{Workers: 2, PartitionVertices: 50})
+	defer e.Close()
+	e.Run(apps.NewPageRank(g), 3)
+	for part := range e.updates {
+		if len(e.updates[part].buf) != 0 {
+			t.Fatalf("partition %d retained %d updates after the run", part, len(e.updates[part].buf))
+		}
+	}
+}
+
+func TestSinglePartitionDegenerate(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 3)
+	e := New(g, Config{Workers: 1, PartitionVertices: 1 << 20})
+	defer e.Close()
+	if e.Partitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", e.Partitions())
+	}
+	got := apps.Ranks(e.Run(apps.NewPageRank(g), 5).Props)
+	want := apps.Ranks(apps.RunSequential(apps.NewPageRank(g), g, 5).Props)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-10 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSAcrossPartitions(t *testing.T) {
+	// A path crossing every partition boundary forces shuffle traffic each
+	// round.
+	b := graph.NewBuilder(64)
+	for v := uint32(0); v < 63; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.MustBuild()
+	e := New(g, Config{Workers: 2, PartitionVertices: 8})
+	defer e.Close()
+	res := e.Run(apps.NewBFS(0), 1<<20)
+	for v := uint64(1); v < 64; v++ {
+		if res.Props[v] != v-1 {
+			t.Fatalf("parent[%d] = %d, want %d", v, res.Props[v], v-1)
+		}
+	}
+	if e.Name() != "X-Stream" {
+		t.Error("name wrong")
+	}
+}

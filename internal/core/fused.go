@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/apps"
+)
+
+// fuse is the per-phase resolved kernel specialization (see
+// apps.FusedKind): the engines run the paper's aggregation operators as
+// inlined code instead of per-edge indirect calls, mirroring Grazelle's
+// hand-specialized per-application assembly kernels.
+type fuse struct {
+	kind     apps.FusedKind
+	scale    []float64
+	weighted bool
+}
+
+func fuseFor(p apps.Program, weighted bool) fuse {
+	k, s := apps.KindOf(p)
+	return fuse{kind: k, scale: s, weighted: weighted}
+}
+
+// step computes Combine(acc, Message(props[n], n, w)) through the fused
+// operator. The generic fallback preserves exact Program semantics for
+// kinds the engine does not recognize.
+func step[P apps.Program](p P, fz *fuse, props []uint64, acc, n uint64, w float32) uint64 {
+	switch fz.kind {
+	case apps.FusedRankSum:
+		m := math.Float64frombits(props[n]) * fz.scale[n]
+		if fz.weighted {
+			m *= float64(w)
+		}
+		return math.Float64bits(math.Float64frombits(acc) + m)
+	case apps.FusedMinProp:
+		if v := props[n]; v < acc {
+			return v
+		}
+		return acc
+	case apps.FusedMinSrc:
+		if n < acc {
+			return n
+		}
+		return acc
+	case apps.FusedMinPropPlusW:
+		if d := math.Float64frombits(props[n]) + float64(w); d < math.Float64frombits(acc) {
+			return math.Float64bits(d)
+		}
+		return acc
+	default:
+		return p.Combine(acc, p.Message(props[n], uint32(n), w))
+	}
+}
+
+// step4 folds a full 4-lane vector (all lanes valid) into acc — the fused
+// body of the full-vector fast path, with the kind switch hoisted off the
+// per-lane work.
+func step4[P apps.Program](p P, fz *fuse, props []uint64, acc, n0, n1, n2, n3 uint64, wbase int, weights []float32) uint64 {
+	switch fz.kind {
+	case apps.FusedRankSum:
+		s := math.Float64frombits(acc)
+		if fz.weighted {
+			s += math.Float64frombits(props[n0]) * fz.scale[n0] * float64(weights[wbase])
+			s += math.Float64frombits(props[n1]) * fz.scale[n1] * float64(weights[wbase+1])
+			s += math.Float64frombits(props[n2]) * fz.scale[n2] * float64(weights[wbase+2])
+			s += math.Float64frombits(props[n3]) * fz.scale[n3] * float64(weights[wbase+3])
+		} else {
+			s += math.Float64frombits(props[n0]) * fz.scale[n0]
+			s += math.Float64frombits(props[n1]) * fz.scale[n1]
+			s += math.Float64frombits(props[n2]) * fz.scale[n2]
+			s += math.Float64frombits(props[n3]) * fz.scale[n3]
+		}
+		return math.Float64bits(s)
+	case apps.FusedMinProp:
+		if v := props[n0]; v < acc {
+			acc = v
+		}
+		if v := props[n1]; v < acc {
+			acc = v
+		}
+		if v := props[n2]; v < acc {
+			acc = v
+		}
+		if v := props[n3]; v < acc {
+			acc = v
+		}
+		return acc
+	case apps.FusedMinSrc:
+		if n0 < acc {
+			acc = n0
+		}
+		if n1 < acc {
+			acc = n1
+		}
+		if n2 < acc {
+			acc = n2
+		}
+		if n3 < acc {
+			acc = n3
+		}
+		return acc
+	case apps.FusedMinPropPlusW:
+		a := math.Float64frombits(acc)
+		if d := math.Float64frombits(props[n0]) + float64(weights[wbase]); d < a {
+			a = d
+		}
+		if d := math.Float64frombits(props[n1]) + float64(weights[wbase+1]); d < a {
+			a = d
+		}
+		if d := math.Float64frombits(props[n2]) + float64(weights[wbase+2]); d < a {
+			a = d
+		}
+		if d := math.Float64frombits(props[n3]) + float64(weights[wbase+3]); d < a {
+			a = d
+		}
+		return math.Float64bits(a)
+	default:
+		var w0, w1, w2, w3 float32
+		if weights != nil {
+			w0, w1, w2, w3 = weights[wbase], weights[wbase+1], weights[wbase+2], weights[wbase+3]
+		}
+		acc = p.Combine(acc, p.Message(props[n0], uint32(n0), w0))
+		acc = p.Combine(acc, p.Message(props[n1], uint32(n1), w1))
+		acc = p.Combine(acc, p.Message(props[n2], uint32(n2), w2))
+		acc = p.Combine(acc, p.Message(props[n3], uint32(n3), w3))
+		return acc
+	}
+}
+
+// stepMsg computes Message(props[n], n, w) alone, for the push and
+// traditional kernels whose combine happens at the destination.
+func stepMsg[P apps.Program](p P, fz *fuse, props []uint64, n uint64, w float32) uint64 {
+	switch fz.kind {
+	case apps.FusedRankSum:
+		m := math.Float64frombits(props[n]) * fz.scale[n]
+		if fz.weighted {
+			m *= float64(w)
+		}
+		return math.Float64bits(m)
+	case apps.FusedMinProp:
+		return props[n]
+	case apps.FusedMinSrc:
+		return n
+	case apps.FusedMinPropPlusW:
+		return math.Float64bits(math.Float64frombits(props[n]) + float64(w))
+	default:
+		return p.Message(props[n], uint32(n), w)
+	}
+}

@@ -1,0 +1,74 @@
+// Package core implements Grazelle (§5 of the paper): the hybrid graph
+// processing framework embodying the scheduler-aware parallel-loop interface
+// (§3) and the Vector-Sparse edge format (§4). It provides the Edge-Pull
+// engine in its four evaluated variants (traditional-atomic,
+// traditional-nonatomic, scheduler-aware scalar, scheduler-aware
+// vectorized), the Edge-Push engine, the Vertex phase, hybrid engine
+// selection by frontier density, and simulated NUMA partitioning.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/csr"
+	"repro/internal/graph"
+	"repro/internal/vsparse"
+)
+
+// Graph holds every preprocessed representation the engines consume. As in
+// the paper (§5), two edge lists are kept: one grouped by source (VSS, used
+// by Edge-Push) and one grouped by destination (VSD, used by Edge-Pull),
+// with Compressed-Sparse views retained for the scalar kernels.
+type Graph struct {
+	// N is the vertex count.
+	N int
+	// CSR groups edges by source; CSC groups by destination (Fig 2).
+	CSR, CSC *csr.Matrix
+	// VSS and VSD are the Vector-Sparse encodings of CSR and CSC (Fig 4).
+	VSS, VSD *vsparse.Array
+	// EdgeDst maps each CSC edge-array position to its destination (the
+	// top-level vertex owning that position). The scalar pull kernels chunk
+	// over edges and need the destination without walking the vertex index,
+	// mirroring what the embedded top-level id provides in Vector-Sparse.
+	EdgeDst []uint32
+	// Weighted reports whether edge weights are present.
+	Weighted bool
+	// Edges is the directed edge count.
+	Edges int
+
+	// vsd8 is the 512-bit (8-lane) pull encoding, built lazily on first use
+	// (Options.WideVectors); most runs never need it.
+	vsd8     *vsparse.WideArray
+	vsd8Once sync.Once
+}
+
+// VSD8 returns the 8-lane Vector-Sparse pull encoding, building it on first
+// call.
+func (g *Graph) VSD8() *vsparse.WideArray {
+	g.vsd8Once.Do(func() { g.vsd8 = vsparse.FromCSRWide(g.CSC) })
+	return g.vsd8
+}
+
+// BuildGraph preprocesses an edge-list graph into every engine
+// representation.
+func BuildGraph(g *graph.Graph) *Graph {
+	csrM := csr.FromGraph(g, false)
+	cscM := csr.FromGraph(g, true)
+	edgeDst := make([]uint32, cscM.NumEdges())
+	for v := uint32(0); int(v) < cscM.N; v++ {
+		lo, hi := cscM.Index[v], cscM.Index[v+1]
+		for i := lo; i < hi; i++ {
+			edgeDst[i] = v
+		}
+	}
+	return &Graph{
+		N:        g.NumVertices,
+		CSR:      csrM,
+		CSC:      cscM,
+		VSS:      vsparse.FromCSR(csrM),
+		VSD:      vsparse.FromCSR(cscM),
+		EdgeDst:  edgeDst,
+		Weighted: g.Weighted,
+		Edges:    g.NumEdges(),
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+// PullVariant selects the Edge-Pull inner-loop parallelization strategy —
+// the axis of the paper's Figs 5–8.
+type PullVariant int
+
+const (
+	// PullSchedulerAware is the paper's contribution: chunk-local
+	// accumulation, direct stores on outer-loop transitions, per-chunk merge
+	// buffer, no synchronization (§3).
+	PullSchedulerAware PullVariant = iota
+	// PullTraditional parallelizes the inner loop with the traditional
+	// interface: one synchronized (CAS) shared update per edge.
+	PullTraditional
+	// PullTraditionalNonatomic is PullTraditional with the atomics removed —
+	// the paper's "Traditional, Nonatomic" reference point, which quantifies
+	// conflict cost but produces potentially incorrect output under
+	// multiple workers.
+	PullTraditionalNonatomic
+	// PullOuterOnly parallelizes only the outer (destination) loop; the
+	// inner loop runs serially per destination (the PushP+PullS
+	// configuration of Fig 1).
+	PullOuterOnly
+)
+
+// String returns the variant name used in reports.
+func (v PullVariant) String() string {
+	switch v {
+	case PullSchedulerAware:
+		return "Scheduler-Aware"
+	case PullTraditional:
+		return "Traditional"
+	case PullTraditionalNonatomic:
+		return "Traditional-Nonatomic"
+	case PullOuterOnly:
+		return "Outer-Only"
+	default:
+		return fmt.Sprintf("PullVariant(%d)", int(v))
+	}
+}
+
+// EngineMode selects which Edge-phase engine runs each iteration.
+type EngineMode int
+
+const (
+	// EngineHybrid picks pull or push per iteration from frontier density
+	// (§2: a hybrid selects pull whenever a sufficiently large part of the
+	// graph is in the frontier).
+	EngineHybrid EngineMode = iota
+	// EnginePullOnly always runs Edge-Pull.
+	EnginePullOnly
+	// EnginePushOnly always runs Edge-Push.
+	EnginePushOnly
+)
+
+// String returns the mode name.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineHybrid:
+		return "Hybrid"
+	case EnginePullOnly:
+		return "Pull"
+	case EnginePushOnly:
+		return "Push"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// Options configures a Runner. The zero value selects the paper's defaults:
+// scheduler-aware vectorized pull, hybrid engine choice, GOMAXPROCS workers
+// on a single NUMA node, and 32·n dynamic chunks.
+type Options struct {
+	// Pool supplies the worker pool; when nil the Runner creates one with
+	// Workers workers (Workers < 1 selects GOMAXPROCS).
+	Pool    *sched.Pool
+	Workers int
+	// Topology is the simulated NUMA layout; the zero value means one node
+	// holding every worker. Topology.TotalWorkers must equal the pool's
+	// worker count.
+	Topology numa.Topology
+	// ChunkVectors is the scheduling granularity in edge vectors per chunk
+	// (the artifact's -s flag). Zero selects the default of 32 chunks per
+	// thread (§5).
+	ChunkVectors int
+	// Variant picks the Edge-Pull parallelization strategy.
+	Variant PullVariant
+	// Scalar disables the software-vectorized kernels, running the
+	// edge-at-a-time Compressed-Sparse implementations instead (the
+	// baselines of Fig 10).
+	Scalar bool
+	// Mode forces an engine or leaves the hybrid heuristic in charge.
+	Mode EngineMode
+	// PullThreshold is the frontier density at or above which the hybrid
+	// selects Edge-Pull (default 0.05, i.e. 1/20 of vertices active).
+	PullThreshold float64
+	// Record enables the perfmodel counters and time profiles. Metering
+	// adds per-edge accounting cost, so benchmarks leave it off.
+	Record bool
+	// SparseFrontier enables the sparse-frontier extension the paper defers
+	// to future work (§5): when the frontier is small, the Edge phase
+	// visits only the frontier’s out-vectors and the Vertex phase only the
+	// touched destinations. Off by default for paper fidelity.
+	SparseFrontier bool
+	// AblateFullVector disables the fused full-vector fast path in the
+	// pull kernels — an ablation knob for the design-choice benchmarks;
+	// not part of the public facade.
+	AblateFullVector bool
+	// WideVectors runs the scheduler-aware pull engine on the 512-bit
+	// (8-lane) Vector-Sparse encoding instead of the 256-bit one — the
+	// AVX-512 generalization §4 sketches. Wider vectors amortize more
+	// bookkeeping per edge but waste more padding (Fig 9); the ablation
+	// benchmarks measure the trade-off. Applies to the scheduler-aware
+	// vectorized pull kernel only.
+	WideVectors bool
+	// WorkStealing replaces the ticket-counter chunk scheduler with the
+	// work-stealing scheduler (sched.StealingFor). §3 requires only a
+	// static contiguous iteration→chunk mapping of the scheduler — the
+	// property Cilk Plus's work-stealing runtime also satisfies — so the
+	// scheduler-aware engine must run unchanged on either; this option
+	// exists to demonstrate and benchmark that claim. Single-node
+	// topologies only.
+	WorkStealing bool
+}
+
+// withDefaults normalizes an Options value.
+func (o Options) withDefaults(g *Graph) Options {
+	if o.Workers < 1 {
+		if o.Pool != nil {
+			o.Workers = o.Pool.Workers()
+		} else {
+			o.Workers = 0 // NewPool resolves GOMAXPROCS
+		}
+	}
+	if o.PullThreshold <= 0 {
+		o.PullThreshold = 0.05
+	}
+	return o
+}
+
+// chunkSizeFor resolves the chunk size in vectors for a given total.
+func (o Options) chunkSizeFor(total, workers int) int {
+	if o.ChunkVectors > 0 {
+		return o.ChunkVectors
+	}
+	return sched.ChunkSize(total, sched.DefaultChunks(workers))
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/numa"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/vec"
+	"repro/internal/vsparse"
+)
+
+// RunEdgePull executes one Edge-Pull phase with the configured variant and
+// kernel (vectorized Vector-Sparse or scalar Compressed-Sparse). Aggregates
+// land in the Runner's accumulator array; RunVertex consumes them.
+func RunEdgePull[P apps.Program](r *Runner, p P) {
+	t0 := time.Now()
+	switch {
+	case r.opt.Variant == PullOuterOnly:
+		edgePullOuterOnly(r, p)
+	case r.opt.Scalar:
+		switch r.opt.Variant {
+		case PullSchedulerAware:
+			edgePullSAScalar(r, p)
+		default:
+			edgePullTraditionalScalar(r, p, r.opt.Variant == PullTraditional)
+		}
+	default:
+		switch {
+		case r.opt.Variant == PullSchedulerAware && r.opt.WideVectors:
+			edgePullSAWide(r, p)
+		case r.opt.Variant == PullSchedulerAware:
+			edgePullSA(r, p)
+		default:
+			edgePullTraditional(r, p, r.opt.Variant == PullTraditional)
+		}
+	}
+	if r.edgeRec != nil {
+		r.edgeRec.Wall += time.Since(t0)
+	}
+}
+
+// edgePullSA is the flagship kernel: the scheduler-aware (§3), vectorized
+// (§4) Edge-Pull inner loop — Listing 7 parallelized with the Listing 3-6
+// hooks. It performs no synchronization: writes go to the chunk-local
+// accumulator, to shared memory only on outer-loop transitions (at most one
+// chunk contains each vertex's last vector), or to the chunk's private merge
+// buffer slot.
+func edgePullSA[P apps.Program](r *Runner, p P) {
+	a := r.g.VSD
+	total := a.NumVectors()
+	if total == 0 {
+		return
+	}
+	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	identity := p.Identity()
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	weighted := p.Weighted() && a.Weights != nil
+	frontWords := r.front.Words()
+	props, accum := r.props, r.accum
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+
+	words := a.Words
+	r.dispatch(r.pullPart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		// StartChunk (Listing 3): TLS holds the previous destination and its
+		// partially-aggregated value.
+		prev := firstTop(a, rg.Lo)
+		acc := identity
+		for vi := rg.Lo; vi < rg.Hi; vi++ {
+			base := vi * vec.Lanes
+			v0, v1, v2, v3 := words[base], words[base+1], words[base+2], words[base+3]
+			dst := decodeTop4(v0, v1, v2, v3)
+			if dst != prev {
+				// Outer-loop transition (Listing 4): at most one chunk holds
+				// the final inner iterations of prev, so this unsynchronized
+				// shared store is safe.
+				if acc != identity {
+					accum[prev] = p.Combine(accum[prev], acc)
+					c.SharedWrites++
+				}
+				prev, acc = dst, identity
+			}
+			c.VectorsProcessed++
+			if tracksConv && r.conv.Contains(dst) {
+				mask := signMask4(v0, v1, v2, v3)
+				c.FrontierSkips += uint64(mask.Count())
+				c.InvalidLanes += uint64(vec.Lanes - mask.Count())
+				continue
+			}
+			// Full-vector fast path (the common case the format is padded
+			// for: >90% of vectors on skewed graphs have all lanes valid):
+			// no per-lane predicate tests, one fused gather+combine per
+			// lane, as an AVX kernel would issue a single vgatherqpd.
+			if !usesFrontier && !r.opt.AblateFullVector && (v0&v1&v2&v3)>>63 != 0 {
+				n0 := v0 & vsparse.VertexMask
+				n1 := v1 & vsparse.VertexMask
+				n2 := v2 & vsparse.VertexMask
+				n3 := v3 & vsparse.VertexMask
+				acc = step4(p, &fz, props, acc, n0, n1, n2, n3, base, a.Weights)
+				c.EdgesProcessed += vec.Lanes
+				c.TLSWrites += vec.Lanes
+				if rec != nil {
+					countLocality(r, node, &c, n0, n1, n2, n3)
+				}
+				continue
+			}
+			// Predicated path: partially-filled vectors and frontier-gated
+			// lanes.
+			mask := signMask4(v0, v1, v2, v3)
+			valid := mask.Count()
+			c.InvalidLanes += uint64(vec.Lanes - valid)
+			neigh := vec.U64x4{v0 & vsparse.VertexMask, v1 & vsparse.VertexMask,
+				v2 & vsparse.VertexMask, v3 & vsparse.VertexMask}
+			if usesFrontier {
+				live := vec.TestBits(frontWords, neigh, mask)
+				c.FrontierSkips += uint64(valid - live.Count())
+				mask = live
+			}
+			if mask == 0 {
+				continue
+			}
+			if mask == vec.MaskAll && !r.opt.AblateFullVector {
+				// Every lane survived predication: take the fused
+				// full-vector path.
+				acc = step4(p, &fz, props, acc, neigh[0], neigh[1], neigh[2], neigh[3], base, a.Weights)
+				c.EdgesProcessed += vec.Lanes
+				c.TLSWrites += vec.Lanes
+				if rec != nil {
+					countLocality(r, node, &c, neigh[0], neigh[1], neigh[2], neigh[3])
+				}
+				continue
+			}
+			for lane := 0; lane < vec.Lanes; lane++ {
+				if !mask.Bit(lane) {
+					continue
+				}
+				n := neigh[lane]
+				var w float32
+				if weighted {
+					w = a.Weights[base+lane]
+				}
+				acc = step(p, &fz, props, acc, n, w)
+				c.EdgesProcessed++
+				c.TLSWrites++
+				if rec != nil {
+					if r.propOwner.Owner(uint32(n)) == node {
+						c.LocalAccesses++
+					} else {
+						c.RemoteAccesses++
+					}
+				}
+			}
+		}
+		// FinishChunk (Listing 5): the trailing partial aggregate goes to
+		// this chunk's private merge-buffer slot.
+		r.mergeBuf.Save(chunkID, prev, acc)
+		rec.Record(tid, c)
+	})
+	mergeAccum(r, p, identity)
+}
+
+// mergeAccum folds the merge buffer into the shared accumulators
+// (Listing 6). It runs on one thread after the barrier — the paper found
+// this "extremely fast for the real-world graphs we studied".
+func mergeAccum[P apps.Program](r *Runner, p P, identity uint64) {
+	t0 := time.Now()
+	n := r.mergeBuf.Merge(func(dst uint32, v uint64) {
+		if v != identity {
+			r.accum[dst] = p.Combine(r.accum[dst], v)
+		}
+	})
+	if r.edgeRec != nil {
+		r.edgeRec.MergeTime += time.Since(t0)
+		r.edgeRec.Record(0, perfmodel.Counters{MergeOps: uint64(n)})
+	}
+}
+
+// edgePullTraditional parallelizes the same vectorized inner loop with the
+// traditional interface: the loop body sees one iteration at a time and must
+// write each edge's contribution straight to shared memory — with a CAS
+// (useAtomics) or, for the "Traditional, Nonatomic" reference point of
+// Figs 5 and 8, a racy plain read-modify-write.
+func edgePullTraditional[P apps.Program](r *Runner, p P, useAtomics bool) {
+	a := r.g.VSD
+	total := a.NumVectors()
+	if total == 0 {
+		return
+	}
+	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && a.Weights != nil
+	frontWords := r.front.Words()
+	props, accum := r.props, r.accum
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+
+	words := a.Words
+	r.dispatch(r.pullPart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		for vi := rg.Lo; vi < rg.Hi; vi++ {
+			base := vi * vec.Lanes
+			v0, v1, v2, v3 := words[base], words[base+1], words[base+2], words[base+3]
+			dst := decodeTop4(v0, v1, v2, v3)
+			c.VectorsProcessed++
+			mask := signMask4(v0, v1, v2, v3)
+			valid := mask.Count()
+			c.InvalidLanes += uint64(vec.Lanes - valid)
+			if tracksConv && r.conv.Contains(dst) {
+				c.FrontierSkips += uint64(valid)
+				continue
+			}
+			neigh := vec.U64x4{v0 & vsparse.VertexMask, v1 & vsparse.VertexMask,
+				v2 & vsparse.VertexMask, v3 & vsparse.VertexMask}
+			if usesFrontier {
+				live := vec.TestBits(frontWords, neigh, mask)
+				c.FrontierSkips += uint64(valid - live.Count())
+				mask = live
+			}
+			if mask == 0 {
+				continue
+			}
+			for lane := 0; lane < vec.Lanes; lane++ {
+				if !mask.Bit(lane) {
+					continue
+				}
+				n := neigh[lane]
+				var w float32
+				if weighted {
+					w = a.Weights[base+lane]
+				}
+				msg := stepMsg(p, &fz, props, n, w)
+				c.EdgesProcessed++
+				if useAtomics {
+					casCombine(p, &accum[dst], msg, skipEqual, &c)
+				} else {
+					plainCombine(p, &accum[dst], msg, skipEqual, &c)
+				}
+				if rec != nil {
+					if r.propOwner.Owner(uint32(n)) == node {
+						c.LocalAccesses++
+					} else {
+						c.RemoteAccesses++
+					}
+				}
+			}
+		}
+		rec.Record(tid, c)
+	})
+}
+
+// casCombine performs one synchronized shared update: load, combine, CAS,
+// retrying on conflict. Retries are the direct measurement of the write
+// conflicts that motivate §3.
+func casCombine[P apps.Program](p P, addr *uint64, msg uint64, skipEqual bool, c *perfmodel.Counters) {
+	for {
+		old := atomic.LoadUint64(addr)
+		merged := p.Combine(old, msg)
+		if skipEqual && merged == old {
+			c.SkippedWrites++
+			return
+		}
+		c.AtomicOps++
+		if atomic.CompareAndSwapUint64(addr, old, merged) {
+			c.SharedWrites++
+			return
+		}
+		c.CASRetries++
+	}
+}
+
+// plainCombine performs the same update without synchronization. Under
+// multiple workers this is intentionally racy (the paper runs it only to
+// isolate conflict cost from synchronization cost; its output may be
+// incorrect).
+func plainCombine[P apps.Program](p P, addr *uint64, msg uint64, skipEqual bool, c *perfmodel.Counters) {
+	old := *addr
+	merged := p.Combine(old, msg)
+	if skipEqual && merged == old {
+		c.SkippedWrites++
+		return
+	}
+	*addr = merged
+	c.SharedWrites++
+}
+
+// edgePullOuterOnly parallelizes only the outer (destination) loop; each
+// destination's in-edges run serially on one thread (the PushP+PullS
+// configuration of Fig 1). No synchronization is needed, but skewed
+// graphs suffer the load imbalance that motivates inner-loop
+// parallelization.
+func edgePullOuterOnly[P apps.Program](r *Runner, p P) {
+	m := r.g.CSC
+	identity := p.Identity()
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	weighted := p.Weighted() && m.Weights != nil
+	props, accum := r.props, r.accum
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+	chunkSize := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
+	vertPart := r.vertexPartition()
+
+	r.dispatch(vertPart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		for v := rg.Lo; v < rg.Hi; v++ {
+			dst := uint32(v)
+			if tracksConv && r.conv.Contains(dst) {
+				continue
+			}
+			acc := identity
+			neigh := m.Edges(dst)
+			var ws []float32
+			if weighted {
+				ws = m.EdgeWeights(dst)
+			}
+			for i, s := range neigh {
+				if usesFrontier && !r.front.Contains(s) {
+					c.FrontierSkips++
+					continue
+				}
+				var w float32
+				if ws != nil {
+					w = ws[i]
+				}
+				acc = step(p, &fz, props, acc, uint64(s), w)
+				c.EdgesProcessed++
+				c.TLSWrites++
+			}
+			if acc != identity {
+				accum[dst] = p.Combine(accum[dst], acc)
+				c.SharedWrites++
+			}
+		}
+		rec.Record(tid, c)
+	})
+}
+
+// edgePullSAScalar is the scheduler-aware kernel on Compressed-Sparse,
+// one edge at a time — the non-vectorized baseline of Fig 10a's Edge-Pull
+// bar. It chunks the edge array directly; per-edge it pays the transition
+// check, frontier probe, and per-element access that the Vector-Sparse
+// kernel amortizes over four lanes.
+func edgePullSAScalar[P apps.Program](r *Runner, p P) {
+	m := r.g.CSC
+	total := m.NumEdges()
+	if total == 0 {
+		return
+	}
+	// Granularity is configured in vectors; one vector covers vec.Lanes
+	// edges, keeping chunk work comparable across kernels.
+	chunkSize := r.opt.chunkSizeFor((total+vec.Lanes-1)/vec.Lanes, r.pool.Workers()) * vec.Lanes
+	identity := p.Identity()
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	weighted := p.Weighted() && m.Weights != nil
+	props, accum := r.props, r.accum
+	edgeDst := r.g.EdgeDst
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+	edgePart := r.edgePartition()
+
+	r.dispatch(edgePart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		prev := edgeDst[rg.Lo]
+		acc := identity
+		for i := rg.Lo; i < rg.Hi; i++ {
+			dst := edgeDst[i]
+			if dst != prev {
+				if acc != identity {
+					accum[prev] = p.Combine(accum[prev], acc)
+					c.SharedWrites++
+				}
+				prev, acc = dst, identity
+			}
+			if tracksConv && r.conv.Contains(dst) {
+				c.FrontierSkips++
+				continue
+			}
+			s := m.Neigh[i]
+			if usesFrontier && !r.front.Contains(s) {
+				c.FrontierSkips++
+				continue
+			}
+			var w float32
+			if weighted {
+				w = m.Weights[i]
+			}
+			acc = step(p, &fz, props, acc, uint64(s), w)
+			c.EdgesProcessed++
+			c.TLSWrites++
+			if rec != nil {
+				if r.propOwner.Owner(s) == node {
+					c.LocalAccesses++
+				} else {
+					c.RemoteAccesses++
+				}
+			}
+		}
+		r.mergeBuf.Save(chunkID, prev, acc)
+		rec.Record(tid, c)
+	})
+	mergeAccum(r, p, identity)
+}
+
+// edgePullTraditionalScalar is the traditional interface on
+// Compressed-Sparse: a parallel loop over edges whose body writes each
+// contribution to shared memory (Listing 2 with the inner for changed to
+// parallel_for), with or without atomics.
+func edgePullTraditionalScalar[P apps.Program](r *Runner, p P, useAtomics bool) {
+	m := r.g.CSC
+	total := m.NumEdges()
+	if total == 0 {
+		return
+	}
+	chunkSize := r.opt.chunkSizeFor((total+vec.Lanes-1)/vec.Lanes, r.pool.Workers()) * vec.Lanes
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && m.Weights != nil
+	props, accum := r.props, r.accum
+	edgeDst := r.g.EdgeDst
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+	edgePart := r.edgePartition()
+
+	r.dispatch(edgePart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		for i := rg.Lo; i < rg.Hi; i++ {
+			dst := edgeDst[i]
+			if tracksConv && r.conv.Contains(dst) {
+				c.FrontierSkips++
+				continue
+			}
+			s := m.Neigh[i]
+			if usesFrontier && !r.front.Contains(s) {
+				c.FrontierSkips++
+				continue
+			}
+			var w float32
+			if weighted {
+				w = m.Weights[i]
+			}
+			msg := stepMsg(p, &fz, props, uint64(s), w)
+			c.EdgesProcessed++
+			if useAtomics {
+				casCombine(p, &accum[dst], msg, skipEqual, &c)
+			} else {
+				plainCombine(p, &accum[dst], msg, skipEqual, &c)
+			}
+		}
+		rec.Record(tid, c)
+	})
+}
+
+// decodeTop4 reassembles the embedded 48-bit top-level vertex id from four
+// raw lane words (the open-coded form of vsparse.DecodeTop, kept branch-free
+// on the kernels' hot path).
+func decodeTop4(v0, v1, v2, v3 uint64) uint32 {
+	const pieceShift = 48
+	return uint32(((v0>>pieceShift)&0x7)<<45 |
+		((v1>>pieceShift)&0x7FFF)<<30 |
+		((v2>>pieceShift)&0x7FFF)<<15 |
+		(v3>>pieceShift)&0x7FFF)
+}
+
+// signMask4 extracts the per-lane valid mask from four raw lane words (the
+// open-coded vec.SignMask).
+func signMask4(v0, v1, v2, v3 uint64) vec.Mask {
+	return vec.Mask(v0>>63 | (v1>>63)<<1 | (v2>>63)<<2 | (v3>>63)<<3)
+}
+
+// countLocality classifies four gathered source reads against the worker's
+// simulated NUMA node.
+func countLocality(r *Runner, node int, c *perfmodel.Counters, ns ...uint64) {
+	for _, n := range ns {
+		if r.propOwner.Owner(uint32(n)) == node {
+			c.LocalAccesses++
+		} else {
+			c.RemoteAccesses++
+		}
+	}
+}
+
+// vertexPartition and edgePartition give the NUMA partitions of the vertex
+// and CSC-edge index spaces (cheap to recompute per phase).
+func (r *Runner) vertexPartition() numa.Partition {
+	return numa.PartitionEven(r.g.N, r.topo.Nodes)
+}
+
+func (r *Runner) edgePartition() numa.Partition {
+	return numa.PartitionEven(r.g.CSC.NumEdges(), r.topo.Nodes)
+}

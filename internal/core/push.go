@@ -1,0 +1,145 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/vec"
+	"repro/internal/vsparse"
+)
+
+// RunEdgePush executes one Edge-Push phase (Listing 1): the outer loop runs
+// over source vertices — letting the engine skip inactive sources cheaply,
+// push's advantage — and every destination update is a synchronized shared
+// write. Push uses the traditional parallelization in Grazelle (§5: "its
+// push engine uses the traditional approach"); scheduler awareness cannot
+// help because writes scatter across destinations.
+func RunEdgePush[P apps.Program](r *Runner, p P) {
+	t0 := time.Now()
+	if r.opt.Scalar {
+		edgePushScalar(r, p)
+	} else {
+		edgePushVectorized(r, p)
+	}
+	if r.edgeRec != nil {
+		r.edgeRec.Wall += time.Since(t0)
+	}
+}
+
+// edgePushVectorized iterates VSS vectors: one frontier check and one
+// property load per source vector, messages computed per lane, but the
+// scatter is a per-lane CAS — there is no atomic-update-scatter instruction
+// (§6.2's explanation for push's flat vectorization response).
+func edgePushVectorized[P apps.Program](r *Runner, p P) {
+	a := r.g.VSS
+	total := a.NumVectors()
+	if total == 0 {
+		return
+	}
+	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && a.Weights != nil
+	props, accum := r.props, r.accum
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+
+	words := a.Words
+	index := a.Index
+	_ = chunkSize
+	// Chunk over source vertices: the per-source frontier bit skips whole
+	// adjacency lists (push's advantage, §2), and the vertex index — which
+	// §4 keeps around precisely for frontier checks — locates each active
+	// source's vectors.
+	vertChunk := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
+	r.dispatch(r.vertexPartition(), vertChunk, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		for sv := rg.Lo; sv < rg.Hi; sv++ {
+			src := uint32(sv)
+			if usesFrontier && !r.front.Contains(src) {
+				continue
+			}
+			for vi := index[sv]; vi < index[sv+1]; vi++ {
+				base := vi * vec.Lanes
+				v0, v1, v2, v3 := words[base], words[base+1], words[base+2], words[base+3]
+				c.VectorsProcessed++
+				mask := signMask4(v0, v1, v2, v3)
+				valid := mask.Count()
+				c.InvalidLanes += uint64(vec.Lanes - valid)
+				neigh := vec.U64x4{v0 & vsparse.VertexMask, v1 & vsparse.VertexMask,
+					v2 & vsparse.VertexMask, v3 & vsparse.VertexMask}
+				for lane := 0; lane < vec.Lanes; lane++ {
+					if !mask.Bit(lane) {
+						continue
+					}
+					dst := uint32(neigh[lane])
+					if tracksConv && r.conv.Contains(dst) {
+						c.FrontierSkips++
+						continue
+					}
+					var w float32
+					if weighted {
+						w = a.Weights[base+lane]
+					}
+					msg := stepMsg(p, &fz, props, uint64(src), w)
+					c.EdgesProcessed++
+					casCombine(p, &accum[dst], msg, skipEqual, &c)
+					if rec != nil {
+						if r.propOwner.Owner(dst) == node {
+							c.LocalAccesses++
+						} else {
+							c.RemoteAccesses++
+						}
+					}
+				}
+			}
+		}
+		rec.Record(tid, c)
+	})
+}
+
+// edgePushScalar is the Compressed-Sparse push kernel: chunked over source
+// vertices, inner loop serial, one CAS per live edge.
+func edgePushScalar[P apps.Program](r *Runner, p P) {
+	m := r.g.CSR
+	usesFrontier := p.UsesFrontier()
+	tracksConv := p.TracksConverged()
+	skipEqual := p.SkipEqualWrites()
+	weighted := p.Weighted() && m.Weights != nil
+	props, accum := r.props, r.accum
+	rec := r.edgeRec
+	fz := fuseFor(p, weighted)
+	chunkSize := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
+
+	r.dispatch(r.vertexPartition(), chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+		var c perfmodel.Counters
+		for v := rg.Lo; v < rg.Hi; v++ {
+			src := uint32(v)
+			if usesFrontier && !r.front.Contains(src) {
+				continue
+			}
+			neigh := m.Edges(src)
+			var ws []float32
+			if weighted {
+				ws = m.EdgeWeights(src)
+			}
+			for i, dst := range neigh {
+				if tracksConv && r.conv.Contains(dst) {
+					c.FrontierSkips++
+					continue
+				}
+				var w float32
+				if ws != nil {
+					w = ws[i]
+				}
+				msg := stepMsg(p, &fz, props, uint64(src), w)
+				c.EdgesProcessed++
+				casCombine(p, &accum[dst], msg, skipEqual, &c)
+			}
+		}
+		rec.Record(tid, c)
+	})
+}

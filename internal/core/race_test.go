@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active; the intentionally
+// racy nonatomic configuration is skipped under it.
+const raceEnabled = true

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/frontier"
+	"repro/internal/numa"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/vec"
+	"repro/internal/vsparse"
+)
+
+// Runner owns the execution state of one graph: worker pool, property and
+// accumulator arrays, frontier structures, merge buffer, and counters. A
+// Runner is reused across runs; it is not safe for concurrent use.
+type Runner struct {
+	g       *Graph
+	opt     Options
+	pool    *sched.Pool
+	ownPool bool
+	topo    numa.Topology
+
+	props, accum []uint64
+	front, next  *frontier.Dense
+	conv         *frontier.Dense
+	touched      *frontier.Dense
+	mergeBuf     *sched.MergeBuffer
+
+	// partitions of the two vector arrays across simulated NUMA nodes.
+	pullPart, pushPart numa.Partition
+	propOwner          numa.PropertyMap
+
+	// edgeRec and vertexRec collect counters when Options.Record is set;
+	// nil otherwise.
+	edgeRec, vertexRec *perfmodel.Recorder
+}
+
+// NewRunner creates a Runner for graph g.
+func NewRunner(g *Graph, opt Options) *Runner {
+	opt = opt.withDefaults(g)
+	r := &Runner{g: g, opt: opt}
+	if opt.Pool != nil {
+		r.pool = opt.Pool
+	} else {
+		r.pool = sched.NewPool(opt.Workers)
+		r.ownPool = true
+	}
+	r.opt.Workers = r.pool.Workers()
+	r.topo = opt.Topology
+	if r.topo.Nodes == 0 {
+		r.topo = numa.SingleNode(r.pool.Workers())
+	}
+	if r.topo.TotalWorkers() != r.pool.Workers() {
+		panic("core: topology workers != pool workers")
+	}
+	r.props = make([]uint64, g.N)
+	r.accum = make([]uint64, g.N)
+	r.front = frontier.NewDense(g.N)
+	r.next = frontier.NewDense(g.N)
+	r.conv = frontier.NewDense(g.N)
+	r.touched = frontier.NewDense(g.N)
+	r.pullPart = numa.PartitionEven(g.VSD.NumVectors(), r.topo.Nodes)
+	r.pushPart = numa.PartitionEven(g.VSS.NumVectors(), r.topo.Nodes)
+	r.propOwner = numa.NewPropertyMap(g.N, r.topo)
+	// Merge buffer sized for the worst-case chunk count across phases.
+	maxVectors := g.VSD.NumVectors()
+	if g.CSC.NumEdges() > maxVectors {
+		maxVectors = g.CSC.NumEdges() // scalar kernels chunk over edges
+	}
+	chunkSize := r.opt.chunkSizeFor(maxVectors, r.pool.Workers())
+	r.mergeBuf = sched.NewMergeBuffer(sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes)
+	if opt.Record {
+		r.edgeRec = perfmodel.NewRecorder(r.pool.Workers())
+		r.vertexRec = perfmodel.NewRecorder(r.pool.Workers())
+	}
+	return r
+}
+
+// Close releases the Runner's pool if it owns one.
+func (r *Runner) Close() {
+	if r.ownPool {
+		r.pool.Close()
+	}
+}
+
+// Graph returns the preprocessed graph.
+func (r *Runner) Graph() *Graph { return r.g }
+
+// Pool returns the worker pool.
+func (r *Runner) Pool() *sched.Pool { return r.pool }
+
+// Props exposes the property lanes (valid after Init or Run).
+func (r *Runner) Props() []uint64 { return r.props }
+
+// Frontier exposes the current frontier.
+func (r *Runner) Frontier() *frontier.Dense { return r.front }
+
+// EdgeRecorder returns the Edge-phase recorder (nil unless Options.Record).
+func (r *Runner) EdgeRecorder() *perfmodel.Recorder { return r.edgeRec }
+
+// VertexRecorder returns the Vertex-phase recorder (nil unless
+// Options.Record).
+func (r *Runner) VertexRecorder() *perfmodel.Recorder { return r.vertexRec }
+
+// Init resets all state for a fresh run of program p.
+func (r *Runner) Init(p apps.Program) {
+	p.InitProps(r.props)
+	id := p.Identity()
+	for i := range r.accum {
+		r.accum[i] = id
+	}
+	r.front.Clear()
+	r.next.Clear()
+	r.conv.Clear()
+	p.InitFrontier(r.front)
+	p.InitConverged(r.conv)
+	r.mergeBuf.Reset()
+	r.edgeRec.Reset()
+	r.vertexRec.Reset()
+}
+
+// dispatch hands contiguous chunks of [0, total) to workers, restricted to
+// each worker's simulated NUMA node partition (part must partition the same
+// space). Chunk ids are globally unique and stable for a given (total,
+// chunkSize, topology), so the merge buffer can be preallocated. body
+// receives the chunk range, its global id, the worker id, and the node.
+func (r *Runner) dispatch(part numa.Partition, chunkSize int, rec *perfmodel.Recorder, body func(rg sched.Range, chunkID, tid, node int)) {
+	if r.opt.WorkStealing && r.topo.Nodes == 1 {
+		_, total := part.Range(0)
+		r.mergeBuf.Grow(sched.NumChunks(total, chunkSize))
+		r.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
+			if rec != nil {
+				start := time.Now()
+				body(rg, chunkID, tid, 0)
+				rec.AddBusy(tid, time.Since(start))
+			} else {
+				body(rg, chunkID, tid, 0)
+			}
+		})
+		return
+	}
+	nodes := part.Nodes()
+	type nodeState struct {
+		lo, numChunks, chunkBase int
+		next                     atomic.Int64
+		_                        [64]byte // keep counters off shared lines
+	}
+	states := make([]nodeState, nodes)
+	base := 0
+	for n := 0; n < nodes; n++ {
+		lo, hi := part.Range(n)
+		states[n].lo = lo
+		states[n].numChunks = sched.NumChunks(hi-lo, chunkSize)
+		states[n].chunkBase = base
+		base += states[n].numChunks
+	}
+	if base == 0 {
+		return
+	}
+	r.mergeBuf.Grow(base)
+	r.pool.Run(func(tid int) {
+		node := r.topo.NodeOf(tid)
+		st := &states[node]
+		_, hi := part.Range(node)
+		for {
+			local := int(st.next.Add(1)) - 1
+			if local >= st.numChunks {
+				return
+			}
+			lo := st.lo + local*chunkSize
+			end := lo + chunkSize
+			if end > hi {
+				end = hi
+			}
+			if rec != nil {
+				start := time.Now()
+				body(sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
+				rec.AddBusy(tid, time.Since(start))
+			} else {
+				body(sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
+			}
+		}
+	})
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Props holds the final property lanes.
+	Props []uint64
+	// Iterations counts Edge+Vertex rounds; PullIterations and
+	// PushIterations split them by selected engine, and SparseIterations
+	// counts rounds served by the sparse-frontier extension (a subset of
+	// PushIterations).
+	Iterations, PullIterations, PushIterations, SparseIterations int
+	// EdgeTime and VertexTime are cumulative phase wall times.
+	EdgeTime, VertexTime time.Duration
+	// Total is the end-to-end wall time, excluding graph preprocessing.
+	Total time.Duration
+	// EdgeCounters and VertexCounters aggregate the perfmodel counters
+	// (zero unless Options.Record).
+	EdgeCounters, VertexCounters perfmodel.Counters
+	// EdgeProfile is the Fig 5b Work/Merge/Write/Idle breakdown.
+	EdgeProfile perfmodel.Breakdown
+}
+
+// Run executes program p for at most maxIters iterations (frontier-driven
+// programs stop early when the frontier empties) and returns the result.
+// The generic parameter devirtualizes the per-edge program calls.
+func Run[P apps.Program](r *Runner, p P, maxIters int) Result {
+	start := time.Now()
+	r.Init(p)
+	var res Result
+	usesFrontier := p.UsesFrontier()
+	for res.Iterations < maxIters {
+		if usesFrontier && r.front.Empty() {
+			break
+		}
+		p.PreIteration(r.props)
+		if front, ok := r.selectSparse(p); ok {
+			t0 := time.Now()
+			touched := runEdgePushSparse(r, p, front)
+			t1 := time.Now()
+			res.EdgeTime += t1.Sub(t0)
+			runVertexSparse(r, p, touched)
+			res.VertexTime += time.Since(t1)
+			res.PushIterations++
+			res.SparseIterations++
+			res.Iterations++
+			continue
+		}
+		usePull := r.selectPull(p)
+		t0 := time.Now()
+		if usePull {
+			RunEdgePull(r, p)
+			res.PullIterations++
+		} else {
+			RunEdgePush(r, p)
+			res.PushIterations++
+		}
+		t1 := time.Now()
+		res.EdgeTime += t1.Sub(t0)
+		RunVertex(r, p)
+		res.VertexTime += time.Since(t1)
+		res.Iterations++
+	}
+	res.Props = r.props
+	res.Total = time.Since(start)
+	res.EdgeCounters = r.edgeRec.Total()
+	res.VertexCounters = r.vertexRec.Total()
+	res.EdgeProfile = r.edgeRec.Profile()
+	return res
+}
+
+// selectPull implements the hybrid engine choice: pull for frontier-blind
+// programs and for dense frontiers, push for sparse ones (§2).
+func (r *Runner) selectPull(p apps.Program) bool {
+	switch r.opt.Mode {
+	case EnginePullOnly:
+		return true
+	case EnginePushOnly:
+		return false
+	}
+	if !p.UsesFrontier() {
+		return true
+	}
+	return r.front.Density() >= r.opt.PullThreshold
+}
+
+// RunVertex executes the Vertex phase: apply aggregates, reset accumulators,
+// build the next frontier, and swap it in. Statically scheduled (§5: the
+// work is regular enough that load balancing is not a problem).
+func RunVertex[P apps.Program](r *Runner, p P) {
+	t0 := time.Now()
+	identity := p.Identity()
+	tracksConv := p.TracksConverged()
+	nextWords := r.next.Words()
+	convWords := r.conv.Words()
+	r.next.Clear()
+	r.pool.StaticFor(r.g.N, func(rg sched.Range, tid int) {
+		var c perfmodel.Counters
+		start := time.Now()
+		apply := func(v int) {
+			nv, changed := p.Apply(r.props[v], r.accum[v], uint32(v))
+			r.props[v] = nv
+			r.accum[v] = identity
+			c.SharedWrites += 2
+			if changed {
+				atomic.OrUint64(&nextWords[v>>6], 1<<(uint(v)&63))
+				if tracksConv {
+					atomic.OrUint64(&convWords[v>>6], 1<<(uint(v)&63))
+				}
+			}
+		}
+		if r.opt.Scalar {
+			for v := rg.Lo; v < rg.Hi; v++ {
+				apply(v)
+			}
+		} else {
+			// Vectorized Vertex phase: four lanes per step with one bounds
+			// check per vector and frontier bits coalesced into a single
+			// atomic OR per group. §6.2 found this phase memory-bandwidth-
+			// bound and therefore largely unresponsive to vectorization; the
+			// structure exists for the Fig 10a comparison.
+			v := rg.Lo
+			for ; v+vec.Lanes <= rg.Hi; v += vec.Lanes {
+				old := vec.Load(r.props, v)
+				agg := vec.Load(r.accum, v)
+				var changedMask uint64
+				for lane := 0; lane < vec.Lanes; lane++ {
+					nv, changed := p.Apply(old[lane], agg[lane], uint32(v+lane))
+					old[lane] = nv
+					if changed {
+						changedMask |= 1 << lane
+					}
+				}
+				vec.Store(r.props, v, old)
+				vec.Store(r.accum, v, vec.Broadcast(identity))
+				c.SharedWrites += 2 * vec.Lanes
+				if changedMask != 0 {
+					// Lanes are consecutive vertices: shift the lane mask
+					// into bit position, splitting across two frontier words
+					// when the group straddles a boundary.
+					off := uint(v) & 63
+					lo := changedMask << off
+					if lo != 0 {
+						atomic.OrUint64(&nextWords[v>>6], lo)
+						if tracksConv {
+							atomic.OrUint64(&convWords[v>>6], lo)
+						}
+					}
+					if off > 64-vec.Lanes {
+						if hi := changedMask >> (64 - off); hi != 0 {
+							atomic.OrUint64(&nextWords[v>>6+1], hi)
+							if tracksConv {
+								atomic.OrUint64(&convWords[v>>6+1], hi)
+							}
+						}
+					}
+				}
+			}
+			for ; v < rg.Hi; v++ {
+				apply(v)
+			}
+		}
+		if r.vertexRec != nil {
+			r.vertexRec.Record(tid, c)
+			r.vertexRec.AddBusy(tid, time.Since(start))
+		}
+	})
+	r.front, r.next = r.next, r.front
+	if r.vertexRec != nil {
+		r.vertexRec.Wall += time.Since(t0)
+	}
+}
+
+// firstTop returns the top-level vertex of vector vi in array a — the
+// scheduler-aware StartChunk initialization.
+func firstTop(a *vsparse.Array, vi int) uint32 {
+	return uint32(vsparse.DecodeTop(a.Vector(vi)))
+}

@@ -1,0 +1,197 @@
+package frontier
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(130)
+	if d.Len() != 130 || !d.Empty() || d.Count() != 0 {
+		t.Fatal("new frontier not empty")
+	}
+	d.Add(0)
+	d.Add(63)
+	d.Add(64)
+	d.Add(129)
+	if d.Count() != 4 {
+		t.Errorf("Count = %d, want 4", d.Count())
+	}
+	for _, v := range []uint32{0, 63, 64, 129} {
+		if !d.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if d.Contains(1) || d.Contains(128) {
+		t.Error("Contains reports inactive vertex")
+	}
+	d.Remove(63)
+	if d.Contains(63) || d.Count() != 3 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestDenseFillRespectsLength(t *testing.T) {
+	d := NewDense(70)
+	d.Fill()
+	if d.Count() != 70 {
+		t.Errorf("after Fill, Count = %d, want 70", d.Count())
+	}
+	if d.Density() != 1 {
+		t.Errorf("Density = %v, want 1", d.Density())
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestDenseForEachAscending(t *testing.T) {
+	d := NewDense(200)
+	want := []uint32{3, 64, 65, 127, 128, 199}
+	for _, v := range want {
+		d.Add(v)
+	}
+	var got []uint32
+	d.ForEach(func(v uint32) { got = append(got, v) })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+func TestDenseCloneAndCopy(t *testing.T) {
+	d := NewDense(100)
+	d.Add(42)
+	c := d.Clone()
+	c.Add(7)
+	if d.Contains(7) {
+		t.Error("Clone aliases original")
+	}
+	e := NewDense(100)
+	e.CopyFrom(c)
+	if !e.Contains(7) || !e.Contains(42) {
+		t.Error("CopyFrom lost bits")
+	}
+}
+
+func TestSparseNormalize(t *testing.T) {
+	s := NewSparse(100)
+	for _, v := range []uint32{9, 3, 9, 1, 3, 99} {
+		s.AddUnsorted(v)
+	}
+	s.Normalize()
+	if !reflect.DeepEqual(s.Vertices(), []uint32{1, 3, 9, 99}) {
+		t.Errorf("Normalize = %v", s.Vertices())
+	}
+	if s.Count() != 4 || s.Empty() {
+		t.Error("Count/Empty wrong after Normalize")
+	}
+}
+
+func TestSparseNormalizeLarge(t *testing.T) {
+	// Exercise the radix-sort path (> 32 elements).
+	rng := rand.New(rand.NewSource(5))
+	s := NewSparse(1 << 20)
+	want := map[uint32]bool{}
+	for i := 0; i < 500; i++ {
+		v := uint32(rng.Intn(1 << 20))
+		s.AddUnsorted(v)
+		want[v] = true
+	}
+	s.Normalize()
+	got := s.Vertices()
+	if len(got) != len(want) {
+		t.Fatalf("Normalize kept %d, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Normalize output not sorted")
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("Normalize invented vertex %d", v)
+		}
+	}
+}
+
+func TestConversionRoundTrip(t *testing.T) {
+	d := NewDense(300)
+	for _, v := range []uint32{0, 5, 64, 255, 299} {
+		d.Add(v)
+	}
+	back := d.ToSparse().ToDense()
+	if !reflect.DeepEqual(d.Words(), back.Words()) {
+		t.Error("dense -> sparse -> dense changed contents")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	d := NewDense(100)
+	for v := uint32(0); v < 25; v++ {
+		d.Add(v)
+	}
+	if d.Density() != 0.25 {
+		t.Errorf("Density = %v, want 0.25", d.Density())
+	}
+	s := d.ToSparse()
+	if s.Density() != 0.25 {
+		t.Errorf("sparse Density = %v, want 0.25", s.Density())
+	}
+	var empty Dense
+	if empty.Density() != 0 {
+		t.Error("zero-length Density should be 0")
+	}
+}
+
+// Property: membership after a random add/remove sequence matches a map.
+func TestDenseSetSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		d := NewDense(n)
+		ref := map[uint32]bool{}
+		for i := 0; i < 200; i++ {
+			v := uint32(rng.Intn(n))
+			if rng.Intn(3) == 0 {
+				d.Remove(v)
+				delete(ref, v)
+			} else {
+				d.Add(v)
+				ref[v] = true
+			}
+		}
+		if d.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		d.ForEach(func(v uint32) {
+			if !ref[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ToSparse produces exactly the vertices ForEach visits.
+func TestSparseDenseAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		d := NewDense(n)
+		for i := 0; i < 100; i++ {
+			d.Add(uint32(rng.Intn(n)))
+		}
+		var fromEach []uint32
+		d.ForEach(func(v uint32) { fromEach = append(fromEach, v) })
+		return reflect.DeepEqual(fromEach, append([]uint32(nil), d.ToSparse().Vertices()...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Binary format ("GRZG"), little-endian:
+//
+//	[4]byte  magic "GRZG"
+//	uint32   version (1)
+//	uint32   flags (bit 0: weighted, bit 1: sorted by source, bit 2: by dest)
+//	uint64   numVertices
+//	uint64   numEdges
+//	numEdges × { uint32 src, uint32 dst [, float32 weight] }
+//
+// The Grazelle artifact ships each dataset as a "-push" / "-pull" file pair
+// (edges grouped by source and by destination respectively); SavePair and
+// LoadPair reproduce that convention on top of this format.
+
+const (
+	magic   = "GRZG"
+	version = 1
+
+	flagWeighted     = 1 << 0
+	flagSortedBySrc  = 1 << 1
+	flagSortedByDest = 1 << 2
+)
+
+// WriteBinary serializes the graph to w.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	return g.writeBinary(w, 0)
+}
+
+func (g *Graph) writeBinary(w io.Writer, sortFlags uint32) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	flags := sortFlags
+	if g.Weighted {
+		flags |= flagWeighted
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], version)
+	binary.LittleEndian.PutUint32(hdr[4:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	recLen := 8
+	if g.Weighted {
+		recLen = 12
+	}
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+		if g.Weighted {
+			binary.LittleEndian.PutUint32(rec[8:], floatBits(e.Weight))
+		}
+		if _, err := bw.Write(rec[:recLen]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var head [28]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(head[8:])
+	numV := binary.LittleEndian.Uint64(head[12:])
+	numE := binary.LittleEndian.Uint64(head[20:])
+	if numV > 1<<40 || numE > 1<<48 {
+		return nil, fmt.Errorf("graph: implausible header (%d vertices, %d edges)", numV, numE)
+	}
+	g := &Graph{
+		NumVertices: int(numV),
+		Weighted:    flags&flagWeighted != 0,
+	}
+	// Allocate incrementally with a capped initial capacity so a corrupt
+	// header cannot force a huge up-front allocation. An edgeless graph
+	// keeps a nil slice, matching what Builder produces.
+	if numE > 0 {
+		initialCap := numE
+		if initialCap > 1<<20 {
+			initialCap = 1 << 20
+		}
+		g.Edges = make([]Edge, 0, initialCap)
+	}
+	recLen := 8
+	if g.Weighted {
+		recLen = 12
+	}
+	var rec [12]byte
+	for i := uint64(0); i < numE; i++ {
+		if _, err := io.ReadFull(br, rec[:recLen]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		e := Edge{
+			Src: binary.LittleEndian.Uint32(rec[0:]),
+			Dst: binary.LittleEndian.Uint32(rec[4:]),
+		}
+		if g.Weighted {
+			e.Weight = bitsFloat(binary.LittleEndian.Uint32(rec[8:]))
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SavePair writes "<base>-push" (sorted by source) and "<base>-pull" (sorted
+// by destination), matching the artifact's file-pair convention. base may
+// include a directory path.
+func (g *Graph) SavePair(base string) error {
+	push := g.Clone()
+	push.SortBySource()
+	if err := writeFile(base+"-push", push, flagSortedBySrc); err != nil {
+		return err
+	}
+	pull := g.Clone()
+	pull.SortByDest()
+	return writeFile(base+"-pull", pull, flagSortedByDest)
+}
+
+// LoadPair reads the pair written by SavePair and returns the push-ordered
+// and pull-ordered graphs.
+func LoadPair(base string) (push, pull *Graph, err error) {
+	push, err = ReadFile(base + "-push")
+	if err != nil {
+		return nil, nil, err
+	}
+	pull, err = ReadFile(base + "-pull")
+	if err != nil {
+		return nil, nil, err
+	}
+	if push.NumVertices != pull.NumVertices || len(push.Edges) != len(pull.Edges) {
+		return nil, nil, fmt.Errorf("graph: mismatched pair %q: %d/%d vertices, %d/%d edges",
+			base, push.NumVertices, pull.NumVertices, len(push.Edges), len(pull.Edges))
+	}
+	return push, pull, nil
+}
+
+// WriteFile serializes the graph to the named file.
+func (g *Graph) WriteFile(path string) error {
+	return writeFile(path, g, 0)
+}
+
+func writeFile(path string, g *Graph, sortFlags uint32) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.writeBinary(f, sortFlags); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile deserializes a graph from the named file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func bitsFloat(u uint32) float32 { return math.Float32frombits(u) }

@@ -1,0 +1,49 @@
+package graph
+
+import "sort"
+
+// RelabelByDegree returns a copy of g whose vertex ids are reassigned in
+// descending in-degree order (ties by original id). Degree-ordered layouts
+// concentrate the hot, high-degree vertices' property lanes at the front of
+// the arrays — the cache-locality family of optimizations §3's related work
+// surveys (Ding & Kennedy's locality grouping and its successors). It also
+// improves Vector-Sparse packing locality: the high-degree vertices whose
+// groups span many vectors become contiguous.
+//
+// The returned permutation maps old ids to new ids, so callers can
+// translate results back (newProps[perm[v]] is vertex v's value).
+func RelabelByDegree(g *Graph) (*Graph, []uint32) {
+	n := g.NumVertices
+	in := g.InDegrees()
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if in[order[a]] != in[order[b]] {
+			return in[order[a]] > in[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	perm := make([]uint32, n)
+	for newID, oldID := range order {
+		perm[oldID] = uint32(newID)
+	}
+	out := &Graph{NumVertices: n, Weighted: g.Weighted}
+	out.Edges = make([]Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		out.Edges[i] = Edge{Src: perm[e.Src], Dst: perm[e.Dst], Weight: e.Weight}
+	}
+	out.SortBySource()
+	return out, perm
+}
+
+// InversePermutation returns the inverse of a relabeling permutation:
+// inv[newID] = oldID.
+func InversePermutation(perm []uint32) []uint32 {
+	inv := make([]uint32, len(perm))
+	for oldID, newID := range perm {
+		inv[newID] = uint32(oldID)
+	}
+	return inv
+}

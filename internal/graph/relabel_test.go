@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelByDegreeOrdering(t *testing.T) {
+	// Vertex 3 has the highest in-degree, then 1, then the rest.
+	g := NewBuilder(5).
+		AddEdge(0, 3).AddEdge(1, 3).AddEdge(2, 3).
+		AddEdge(0, 1).AddEdge(2, 1).
+		AddEdge(4, 0).
+		MustBuild()
+	out, perm := RelabelByDegree(g)
+	if perm[3] != 0 {
+		t.Errorf("highest in-degree vertex got new id %d, want 0", perm[3])
+	}
+	if perm[1] != 1 {
+		t.Errorf("second-highest got new id %d, want 1", perm[1])
+	}
+	in := out.InDegrees()
+	for i := 1; i < len(in); i++ {
+		if in[i] > in[i-1] {
+			t.Fatalf("relabeled in-degrees not descending at %d: %v", i, in)
+		}
+	}
+	if out.NumEdges() != g.NumEdges() {
+		t.Error("edge count changed")
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	perm := []uint32{2, 0, 1}
+	inv := InversePermutation(perm)
+	for old, newID := range perm {
+		if inv[newID] != uint32(old) {
+			t.Fatalf("inverse wrong at %d", old)
+		}
+	}
+}
+
+// Property: relabeling is an isomorphism — edges map through the
+// permutation exactly, and the permutation is a bijection.
+func TestRelabelIsomorphismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		b := NewBuilder(n)
+		for i := rng.Intn(300); i > 0; i-- {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		out, perm := RelabelByDegree(g)
+		// Bijection.
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		// Edge multiset maps through perm.
+		count := map[[2]uint32]int{}
+		for _, e := range g.Edges {
+			count[[2]uint32{perm[e.Src], perm[e.Dst]}]++
+		}
+		for _, e := range out.Edges {
+			count[[2]uint32{e.Src, e.Dst}]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a SNAP-style comment
+% another comment style
+
+0 1
+1 2
+5 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 6 {
+		t.Errorf("NumVertices = %d, want 6 (1+max id)", g.NumVertices)
+	}
+	if g.NumEdges() != 3 || g.Weighted {
+		t.Errorf("edges = %d weighted = %v", g.NumEdges(), g.Weighted)
+	}
+	if g.Edges[2] != (Edge{Src: 5, Dst: 0}) {
+		t.Errorf("edge 2 = %+v", g.Edges[2])
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 2.5\n1 0 0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted || g.Edges[0].Weight != 2.5 || g.Edges[1].Weight != 0.25 {
+		t.Errorf("weights wrong: %+v", g.Edges)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 b\n", "0 1 x\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty input produced %d/%d", g.NumVertices, g.NumEdges())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	orig := NewBuilder(10).
+		AddEdge(0, 9).AddEdge(3, 4).AddEdge(9, 0).
+		MustBuild()
+	var buf bytes.Buffer
+	if err := orig.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Edges, back.Edges) {
+		t.Errorf("round trip changed edges:\n%v\n%v", orig.Edges, back.Edges)
+	}
+}
+
+func TestEdgeListRoundTripWeightedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		b := NewBuilder(n)
+		for i := rng.Intn(100); i > 0; i-- {
+			b.AddWeightedEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)), float32(rng.Intn(100))/4)
+		}
+		g := b.MustBuild()
+		if g.NumEdges() == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		if g.WriteEdgeList(&buf) != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Edges) != len(g.Edges) {
+			return false
+		}
+		for i := range g.Edges {
+			if back.Edges[i] != g.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Config controls experiment sizing. The zero value is normalized by
+// withDefaults to the full benchfig settings; Quick selects the reduced
+// sizes used by unit tests and testing.B benchmarks.
+type Config struct {
+	// Scale multiplies the Table 1 analog dataset sizes (1.0 = default
+	// benchmark size; see internal/gen).
+	Scale float64
+	// Workers is the maximum worker count (default GOMAXPROCS).
+	Workers int
+	// PRIters is the PageRank iteration count per measurement (the paper's
+	// Fig 11 reports per-iteration time; Table 2 suggests per-graph counts —
+	// at analog scale a fixed small count converges the measurement).
+	PRIters int
+	// Repeats is the number of timed repetitions; the minimum is reported.
+	Repeats int
+	// Quick shrinks datasets (quarter scale) for fast runs.
+	Quick bool
+	// Datasets restricts the sweep; nil means all six.
+	Datasets []gen.Dataset
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+		if c.Quick {
+			c.Scale = 0.12
+		}
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PRIters < 1 {
+		c.PRIters = 8
+		if c.Quick {
+			c.PRIters = 3
+		}
+	}
+	if c.Repeats < 1 {
+		c.Repeats = 3
+		if c.Quick {
+			c.Repeats = 1
+		}
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = gen.AllDatasets
+	}
+	return c
+}
+
+// graphCache memoizes generated analogs and their preprocessed forms within
+// one process (experiments share datasets).
+var graphCache = map[string]*graph.Graph{}
+var coreCache = map[string]*core.Graph{}
+
+func cacheKey(d gen.Dataset, scale float64) string {
+	return string(d.Abbrev()) + ":" + fmtFloat(scale)
+}
+
+func fmtFloat(f float64) string {
+	// Stable short key.
+	return time.Duration(f * float64(time.Second)).String()
+}
+
+// DatasetGraph returns the (cached) analog of d at the config's scale.
+func (c Config) DatasetGraph(d gen.Dataset) *graph.Graph {
+	key := cacheKey(d, c.Scale)
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	g := gen.Generate(d, c.Scale)
+	graphCache[key] = g
+	return g
+}
+
+// DatasetCoreGraph returns the (cached) preprocessed Grazelle forms.
+func (c Config) DatasetCoreGraph(d gen.Dataset) *core.Graph {
+	key := cacheKey(d, c.Scale)
+	if g, ok := coreCache[key]; ok {
+		return g
+	}
+	g := core.BuildGraph(c.DatasetGraph(d))
+	coreCache[key] = g
+	return g
+}
+
+// timeBest runs fn Repeats times and returns the fastest wall time — the
+// convention of artifact-style measurements, insensitive to warm-up noise.
+func (c Config) timeBest(fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < c.Repeats; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ratio formats a speedup factor.
+func ratio(base, v time.Duration) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/vsparse"
+)
+
+// Fig9 reproduces the packing-efficiency study. 9a: average edge-vector
+// packing efficiency of the six dataset analogs for 4-, 8-, and 16-element
+// vectors (256/512/1024-bit). 9b: the same metric over a synthetic R-MAT
+// suite swept by average degree. Both are exact analytic properties of the
+// degree distributions, so this figure reproduces quantitatively, not just
+// in shape.
+func Fig9(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	lanes := []int{4, 8, 16}
+	ta := &Table{
+		Title:   "Figure 9a: Vector-Sparse packing efficiency, real-graph analogs",
+		Columns: []string{"Graph", "4-element", "8-element", "16-element"},
+	}
+	for _, d := range cfg.Datasets {
+		g := cfg.DatasetGraph(d)
+		deg := g.InDegrees()
+		row := []any{d.Abbrev()}
+		for _, l := range lanes {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*vsparse.PackingEfficiencyForLanes(deg, l)))
+		}
+		ta.AddRow(row...)
+	}
+	tb := &Table{
+		Title:   "Figure 9b: packing efficiency vs average degree (R-MAT suite)",
+		Columns: []string{"log2(avg degree)", "4-element", "8-element", "16-element"},
+	}
+	scale := 10
+	maxLog := 12
+	if cfg.Quick {
+		scale, maxLog = 8, 8
+	}
+	n := 1 << scale
+	for lg := 0; lg <= maxLog; lg++ {
+		edges := n * (1 << lg)
+		g := gen.RMAT(scale, edges, gen.DefaultRMAT, int64(100+lg))
+		deg := g.InDegrees()
+		row := []any{lg}
+		for _, l := range lanes {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*vsparse.PackingEfficiencyForLanes(deg, l)))
+		}
+		tb.AddRow(row...)
+	}
+	return []*Table{ta, tb}
+}
+
+// phaseTimes measures one Grazelle phase in isolation: the runner is
+// initialized once and the phase re-executed repeats times.
+func phaseTime(cfg Config, cg *core.Graph, p apps.Program, scalar bool, phase string) time.Duration {
+	mode := core.EnginePullOnly
+	if phase == "push" {
+		mode = core.EnginePushOnly
+	}
+	r := core.NewRunner(cg, core.Options{Workers: cfg.Workers, Scalar: scalar, Mode: mode})
+	defer r.Close()
+	r.Init(p)
+	reps := cfg.PRIters
+	switch phase {
+	case "pull":
+		return cfg.timeBest(func() {
+			for i := 0; i < reps; i++ {
+				core.RunEdgePull(r, p)
+			}
+		})
+	case "push":
+		return cfg.timeBest(func() {
+			for i := 0; i < reps; i++ {
+				core.RunEdgePush(r, p)
+			}
+		})
+	default: // vertex
+		return cfg.timeBest(func() {
+			for i := 0; i < reps; i++ {
+				core.RunVertex(r, p)
+			}
+		})
+	}
+}
+
+// Fig10 reproduces the vectorization study: 10a compares the vectorized and
+// scalar implementations of each Grazelle phase under PageRank (Edge-Pull
+// responds ~2×, Edge-Push and Vertex stay flat); 10b reports end-to-end
+// application speedups (PageRank > Connected Components > BFS, ordered by
+// Edge-Pull usage).
+func Fig10(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	ta := &Table{
+		Title:   "Figure 10a: vectorization speedup by PageRank phase (scalar time / vectorized time)",
+		Columns: []string{"Graph", "Edge-Pull", "Edge-Push", "Vertex"},
+	}
+	for _, d := range cfg.Datasets {
+		g := cfg.DatasetGraph(d)
+		cg := cfg.DatasetCoreGraph(d)
+		p := apps.NewPageRank(g)
+		row := []any{d.Abbrev()}
+		for _, phase := range []string{"pull", "push", "vertex"} {
+			scalar := phaseTime(cfg, cg, p, true, phase)
+			vectored := phaseTime(cfg, cg, p, false, phase)
+			row = append(row, ratio(scalar, vectored))
+		}
+		ta.AddRow(row...)
+	}
+	tb := &Table{
+		Title:   "Figure 10b: end-to-end vectorization speedup by application",
+		Columns: []string{"Graph", "PR", "CC", "BFS"},
+	}
+	for _, d := range cfg.Datasets {
+		g := cfg.DatasetGraph(d)
+		cg := cfg.DatasetCoreGraph(d)
+		row := []any{d.Abbrev()}
+		for _, app := range []string{"PR", "CC", "BFS"} {
+			runOnce := func(scalar bool) time.Duration {
+				r := core.NewRunner(cg, core.Options{Workers: cfg.Workers, Scalar: scalar})
+				defer r.Close()
+				switch app {
+				case "PR":
+					return cfg.timeBest(func() { core.Run(r, apps.NewPageRank(g), cfg.PRIters) })
+				case "CC":
+					return cfg.timeBest(func() { core.Run(r, apps.NewConnComp(), 1<<20) })
+				default:
+					return cfg.timeBest(func() { core.Run(r, apps.NewBFS(0), 1<<20) })
+				}
+			}
+			row = append(row, ratio(runOnce(true), runOnce(false)))
+		}
+		tb.AddRow(row...)
+	}
+	return []*Table{ta, tb}
+}

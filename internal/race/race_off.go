@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is active, so tests can
+// skip the configurations that are racy by design (the paper's
+// "Traditional, Nonatomic" and Ligra's PushP+PullP-NoSync reference
+// points).
+package race
+
+// Enabled reports that -race is active.
+const Enabled = false

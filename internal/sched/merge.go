@@ -1,0 +1,72 @@
+package sched
+
+// MergeBuffer is the scheduler-aware interface's companion structure (§3):
+// one slot per chunk of iterations, each holding the last destination vertex
+// the chunk touched and the partially-aggregated value computed for it.
+// Because every chunk owns a distinct slot, FinishChunk needs no
+// synchronization; a single thread folds the buffer after the barrier
+// (Listing 6). With static chunking the buffer is allocated once and reused
+// across iterations.
+type MergeBuffer struct {
+	dest  []uint32
+	value []uint64
+	used  []bool
+}
+
+// NewMergeBuffer allocates a buffer with capacity for the given chunk count.
+func NewMergeBuffer(chunks int) *MergeBuffer {
+	return &MergeBuffer{
+		dest:  make([]uint32, chunks),
+		value: make([]uint64, chunks),
+		used:  make([]bool, chunks),
+	}
+}
+
+// Slots returns the buffer capacity in chunks.
+func (b *MergeBuffer) Slots() int { return len(b.used) }
+
+// Grow ensures capacity for at least chunks slots, reusing existing storage
+// when possible (the §3 "Discussion" case of a runtime creating more
+// chunks).
+func (b *MergeBuffer) Grow(chunks int) {
+	if chunks <= len(b.used) {
+		return
+	}
+	b.dest = append(make([]uint32, 0, chunks), b.dest...)[:chunks]
+	b.value = append(make([]uint64, 0, chunks), b.value...)[:chunks]
+	b.used = append(make([]bool, 0, chunks), b.used...)[:chunks]
+}
+
+// Save records chunk chunkID's trailing partial aggregate (Listing 5). Each
+// chunk writes only its own slot, so concurrent Saves with distinct ids are
+// race-free.
+func (b *MergeBuffer) Save(chunkID int, dest uint32, value uint64) {
+	b.dest[chunkID] = dest
+	b.value[chunkID] = value
+	b.used[chunkID] = true
+}
+
+// Merge folds every used slot through combine (Listing 6) and clears the
+// buffer. It returns the number of slots folded. combine receives the
+// destination vertex and the partial value; it is the caller's aggregation
+// operator applied against shared memory — safe because Merge runs after
+// the parallel section.
+func (b *MergeBuffer) Merge(combine func(dest uint32, value uint64)) int {
+	n := 0
+	for i, u := range b.used {
+		if !u {
+			continue
+		}
+		combine(b.dest[i], b.value[i])
+		b.used[i] = false
+		n++
+	}
+	return n
+}
+
+// Reset clears all slots without folding them.
+func (b *MergeBuffer) Reset() {
+	for i := range b.used {
+		b.used[i] = false
+	}
+}

@@ -1,0 +1,245 @@
+// Package sched provides the parallel-loop machinery of the paper's §3: a
+// persistent worker pool, a traditional parallel_for whose body sees only an
+// iteration index, a dynamic chunk scheduler (contiguous chunks of the
+// iteration space handed to threads as they become available — Grazelle's
+// Edge-phase scheduler, 32·n chunks by default), and the scheduler-aware
+// interface, the paper's first contribution: StartChunk / LoopIteration /
+// FinishChunk hooks plus a per-chunk merge buffer that together eliminate
+// all inner-loop synchronization.
+package sched
+
+import (
+	"runtime"
+
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines, the stand-in for Grazelle's
+// pthreads pinned one per logical core. Graph phases are microseconds long,
+// so the fork-join barrier is latency-critical: workers spin briefly
+// (yielding to the Go scheduler) before falling back to a channel sleep, so
+// a phase dispatch costs well under a microsecond on a warm pool while an
+// idle pool still parks its goroutines. The zero value is not usable; call
+// NewPool.
+type Pool struct {
+	workers int
+	// fn is the current task; written by Run before the epoch advance that
+	// publishes it (the atomic establishes the happens-before edge).
+	fn func(tid int)
+	// epoch counts Run invocations; workers watch it for new work.
+	epoch atomic.Uint64
+	// done counts workers that finished the current task.
+	done atomic.Int64
+	// sleeping[tid] marks a worker parked on its wake channel.
+	sleeping []atomic.Bool
+	wake     []chan struct{}
+	closed   atomic.Bool
+}
+
+// spinYields is how many scheduler yields a worker performs before parking.
+const spinYields = 256
+
+// NewPool starts a pool with the given number of workers; n < 1 selects
+// GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers:  n,
+		sleeping: make([]atomic.Bool, n),
+		wake:     make([]chan struct{}, n),
+	}
+	for tid := 1; tid < n; tid++ {
+		p.wake[tid] = make(chan struct{}, 1)
+		go p.worker(tid)
+	}
+	return p
+}
+
+func (p *Pool) worker(tid int) {
+	last := uint64(0)
+	for {
+		// Wait for a new epoch: spin-yield first, then park.
+		spins := 0
+		for p.epoch.Load() == last {
+			if p.closed.Load() {
+				return
+			}
+			spins++
+			if spins < spinYields {
+				runtime.Gosched()
+				continue
+			}
+			p.sleeping[tid].Store(true)
+			if p.epoch.Load() != last || p.closed.Load() {
+				p.sleeping[tid].Store(false)
+				continue
+			}
+			<-p.wake[tid]
+			p.sleeping[tid].Store(false)
+			spins = 0
+		}
+		last++
+		p.fn(tid)
+		p.done.Add(1)
+	}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close terminates the worker goroutines. The pool must not be used after.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for tid := 1; tid < p.workers; tid++ {
+		select {
+		case p.wake[tid] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Run executes fn once on every worker (fn receives the worker id) and
+// waits for all of them — a fork-join barrier. Worker 0 is the caller.
+// Run must not be called concurrently with itself or Close.
+func (p *Pool) Run(fn func(tid int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	p.fn = fn
+	p.done.Store(0)
+	p.epoch.Add(1)
+	for tid := 1; tid < p.workers; tid++ {
+		if p.sleeping[tid].Load() {
+			select {
+			case p.wake[tid] <- struct{}{}:
+			default:
+			}
+		}
+	}
+	fn(0)
+	for p.done.Load() != int64(p.workers-1) {
+		runtime.Gosched()
+	}
+}
+
+// Range is a half-open interval of loop iterations.
+type Range struct{ Lo, Hi int }
+
+// Len returns the iteration count of the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// DefaultChunks is the paper's scheduling granularity: 32 chunks per thread
+// achieved near-ideal load balance (§5).
+func DefaultChunks(workers int) int { return 32 * workers }
+
+// ChunkSize converts a desired chunk count into a chunk size covering total
+// iterations (at least 1).
+func ChunkSize(total, chunks int) int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	size := (total + chunks - 1) / chunks
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// NumChunks returns how many chunks of the given size cover total
+// iterations.
+func NumChunks(total, chunkSize int) int {
+	if total == 0 {
+		return 0
+	}
+	return (total + chunkSize - 1) / chunkSize
+}
+
+// DynamicFor statically chunks [0, total) into contiguous chunks of
+// chunkSize iterations and dynamically assigns chunks to workers as they
+// become available (an atomic ticket counter — work assignment is dynamic,
+// the iteration→chunk mapping is static, exactly the constraint §3 places on
+// schedulers so the merge buffer can be preallocated). body runs once per
+// chunk.
+func (p *Pool) DynamicFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
+	numChunks := NumChunks(total, chunkSize)
+	if numChunks == 0 {
+		return
+	}
+	var next atomic.Int64
+	p.Run(func(tid int) {
+		for {
+			id := int(next.Add(1)) - 1
+			if id >= numChunks {
+				return
+			}
+			lo := id * chunkSize
+			hi := lo + chunkSize
+			if hi > total {
+				hi = total
+			}
+			body(Range{Lo: lo, Hi: hi}, id, tid)
+		}
+	})
+}
+
+// StaticFor divides [0, total) into one contiguous chunk per worker —
+// Grazelle's Vertex-phase scheduler, where work is regular enough that load
+// balancing is not a problem.
+func (p *Pool) StaticFor(total int, body func(r Range, tid int)) {
+	if total == 0 {
+		return
+	}
+	per := (total + p.workers - 1) / p.workers
+	p.Run(func(tid int) {
+		lo := tid * per
+		if lo >= total {
+			return
+		}
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		body(Range{Lo: lo, Hi: hi}, tid)
+	})
+}
+
+// ParallelFor is the traditional interface (Cilk Plus / OpenMP style): the
+// body sees one iteration index and must assume every iteration may run on
+// a different thread. Iterations are delivered through the same dynamic
+// chunk scheduler as DynamicFor, but the body cannot exploit that.
+func (p *Pool) ParallelFor(total, chunkSize int, body func(i, tid int)) {
+	p.DynamicFor(total, chunkSize, func(r Range, _, tid int) {
+		for i := r.Lo; i < r.Hi; i++ {
+			body(i, tid)
+		}
+	})
+}
+
+// Hooks is the scheduler-aware loop interface of Fig 3. T is the
+// thread-local chunk state (the paper's TLS block). StartChunk initializes
+// it, LoopIteration advances it over one iteration, FinishChunk disposes of
+// it — typically by saving a partial aggregate into a merge buffer slot
+// indexed by chunkID.
+type Hooks[T any] struct {
+	StartChunk    func(first, tid int) T
+	LoopIteration func(st T, i, tid int) T
+	FinishChunk   func(st T, last, chunkID, tid int)
+}
+
+// SchedulerAwareFor runs the scheduler-aware loop over [0, total) on pool p.
+// Chunking follows DynamicFor, so consecutive iterations of a chunk execute
+// on one thread and the hooks may keep their state in registers.
+func SchedulerAwareFor[T any](p *Pool, total, chunkSize int, h Hooks[T]) {
+	p.DynamicFor(total, chunkSize, func(r Range, chunkID, tid int) {
+		st := h.StartChunk(r.Lo, tid)
+		for i := r.Lo; i < r.Hi; i++ {
+			st = h.LoopIteration(st, i, tid)
+		}
+		h.FinishChunk(st, r.Hi-1, chunkID, tid)
+	})
+}

@@ -1,0 +1,117 @@
+package sched
+
+import "sync/atomic"
+
+// This file provides a work-stealing chunk scheduler as an alternative to
+// the ticket-counter dynamic scheduler. The paper's §3 stresses that the
+// scheduler-aware interface "does not restrict the behavior of the
+// scheduler itself" beyond requiring a static, contiguous iteration→chunk
+// mapping (Cilk Plus, whose work-stealing runtime Ligra uses, satisfies
+// it). This scheduler demonstrates that property: chunks are dealt into
+// per-worker queues and idle workers steal from victims, yet chunk ids stay
+// stable, so the same merge buffer works unchanged.
+
+// stealQueue is a fixed range of chunk ids owned by one worker, consumed
+// from the head by the owner and from the tail by thieves. Head and tail
+// live packed in one atomic word (head in the high half, tail in the low),
+// so each claim is a single CAS and the last chunk can never be taken from
+// both ends at once.
+type stealQueue struct {
+	ht atomic.Uint64
+	_  [56]byte
+}
+
+func packHT(head, tail uint32) uint64 { return uint64(head)<<32 | uint64(tail) }
+
+func unpackHT(v uint64) (head, tail uint32) { return uint32(v >> 32), uint32(v) }
+
+// claimOwn takes a chunk from the owner's end, returning -1 when empty.
+func (q *stealQueue) claimOwn() int64 {
+	for {
+		v := q.ht.Load()
+		h, t := unpackHT(v)
+		if h >= t {
+			return -1
+		}
+		if q.ht.CompareAndSwap(v, packHT(h+1, t)) {
+			return int64(h)
+		}
+	}
+}
+
+// claimSteal takes a chunk from the thief's end, returning -1 when empty.
+func (q *stealQueue) claimSteal() int64 {
+	for {
+		v := q.ht.Load()
+		h, t := unpackHT(v)
+		if h >= t {
+			return -1
+		}
+		if q.ht.CompareAndSwap(v, packHT(h, t-1)) {
+			return int64(t - 1)
+		}
+	}
+}
+
+// empty reports whether no chunks remain unclaimed.
+func (q *stealQueue) empty() bool {
+	h, t := unpackHT(q.ht.Load())
+	return h >= t
+}
+
+// StealingFor schedules the chunks of [0, total) like DynamicFor, but deals
+// them round-robin-contiguously into per-worker queues and lets idle
+// workers steal. Chunk ids and ranges are identical to DynamicFor's, so
+// scheduler-aware loop bodies (and their merge buffers) are oblivious to
+// which scheduler ran them.
+func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
+	numChunks := NumChunks(total, chunkSize)
+	if numChunks == 0 {
+		return
+	}
+	workers := p.workers
+	queues := make([]stealQueue, workers)
+	for w := 0; w < workers; w++ {
+		lo := uint32(numChunks * w / workers)
+		hi := uint32(numChunks * (w + 1) / workers)
+		queues[w].ht.Store(packHT(lo, hi))
+	}
+	run := func(id int64, tid int) {
+		lo := int(id) * chunkSize
+		hi := lo + chunkSize
+		if hi > total {
+			hi = total
+		}
+		body(Range{Lo: lo, Hi: hi}, int(id), tid)
+	}
+	p.Run(func(tid int) {
+		// Drain own queue first.
+		for {
+			id := queues[tid].claimOwn()
+			if id < 0 {
+				break
+			}
+			run(id, tid)
+		}
+		// Then steal round-robin from victims until everything is done.
+		for victim := (tid + 1) % workers; ; victim = (victim + 1) % workers {
+			if victim == tid {
+				// Completed a full sweep; check for any remaining work.
+				remaining := false
+				for w := range queues {
+					if !queues[w].empty() {
+						remaining = true
+						break
+					}
+				}
+				if !remaining {
+					return
+				}
+				continue
+			}
+			if id := queues[victim].claimSteal(); id >= 0 {
+				run(id, tid)
+			}
+		}
+	})
+}

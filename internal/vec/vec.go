@@ -1,0 +1,150 @@
+// Package vec is the software vector unit standing in for the AVX2 SIMD
+// instructions Grazelle's kernels are written in (see DESIGN.md §2: pure Go
+// has no SIMD intrinsics, so the lane semantics are executed in software).
+// A value of type U64x4 models one 256-bit ymm register holding four 64-bit
+// lanes; masks model per-lane predication exactly as the AVX gather and
+// blend instructions consume it. The 512-bit width lives in
+// internal/vsparse's wide encoding (used by the AVX-512-style kernel), and
+// the packing-efficiency study of Fig 9 evaluates 8- and 16-lane widths
+// analytically from degree distributions.
+package vec
+
+import "math"
+
+// Lanes is the number of 64-bit lanes in the primary (256-bit) vector width.
+const Lanes = 4
+
+// U64x4 is four 64-bit lanes, the software analog of a ymm register.
+type U64x4 [Lanes]uint64
+
+// Mask is a per-lane predicate: bit i enables lane i. The AVX analog is the
+// sign bit of each lane of a mask register.
+type Mask uint8
+
+// MaskAll enables every lane of a U64x4.
+const MaskAll Mask = (1 << Lanes) - 1
+
+// Bit reports whether lane i is enabled.
+func (m Mask) Bit(i int) bool { return m&(1<<i) != 0 }
+
+// Count returns the number of enabled lanes (popcount).
+func (m Mask) Count() int {
+	c := 0
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Broadcast returns a vector with x in every lane (vpbroadcastq).
+func Broadcast(x uint64) U64x4 { return U64x4{x, x, x, x} }
+
+// Load loads four consecutive lanes from s starting at i. The caller must
+// guarantee i+4 <= len(s); the Vector-Sparse format exists precisely so this
+// aligned, unguarded load is always legal (no per-lane bounds checks).
+func Load(s []uint64, i int) U64x4 {
+	_ = s[i+3] // one bounds check for the whole vector, as in an aligned vmovdqa
+	return U64x4{s[i], s[i+1], s[i+2], s[i+3]}
+}
+
+// Store writes four consecutive lanes into s starting at i.
+func Store(s []uint64, i int, v U64x4) {
+	_ = s[i+3]
+	s[i], s[i+1], s[i+2], s[i+3] = v[0], v[1], v[2], v[3]
+}
+
+// GatherU64 is the vgatherqpd analog: for each enabled lane it loads
+// vals[idx[lane]]; disabled lanes receive fill (AVX leaves the destination
+// lane untouched — passing the pre-gather value as fill models that).
+func GatherU64(vals []uint64, idx U64x4, m Mask, fill uint64) U64x4 {
+	out := Broadcast(fill)
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) {
+			out[i] = vals[idx[i]]
+		}
+	}
+	return out
+}
+
+// Blend selects per lane between a (mask bit clear) and b (mask bit set),
+// the vblendvpd analog.
+func Blend(a, b U64x4, m Mask) U64x4 {
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) {
+			a[i] = b[i]
+		}
+	}
+	return a
+}
+
+// AddF64 adds lanes as float64 (vaddpd).
+func AddF64(a, b U64x4) U64x4 {
+	for i := 0; i < Lanes; i++ {
+		a[i] = math.Float64bits(math.Float64frombits(a[i]) + math.Float64frombits(b[i]))
+	}
+	return a
+}
+
+// MinU64 takes the lane-wise unsigned minimum (vpminuq).
+func MinU64(a, b U64x4) U64x4 {
+	for i := 0; i < Lanes; i++ {
+		if b[i] < a[i] {
+			a[i] = b[i]
+		}
+	}
+	return a
+}
+
+// ReduceAddF64 horizontally sums the enabled lanes as float64 into init.
+func ReduceAddF64(v U64x4, m Mask, init float64) float64 {
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) {
+			init += math.Float64frombits(v[i])
+		}
+	}
+	return init
+}
+
+// ReduceMinU64 horizontally minimizes the enabled lanes into init.
+func ReduceMinU64(v U64x4, m Mask, init uint64) uint64 {
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) && v[i] < init {
+			init = v[i]
+		}
+	}
+	return init
+}
+
+// And returns the lane-wise AND with a broadcast constant (vpand).
+func And(v U64x4, c uint64) U64x4 {
+	for i := 0; i < Lanes; i++ {
+		v[i] &= c
+	}
+	return v
+}
+
+// SignMask extracts bit 63 of each lane into a Mask (vmovmskpd). In the
+// Vector-Sparse encoding bit 63 is the valid bit, so this yields the
+// predicate for the whole vector in one operation.
+func SignMask(v U64x4) Mask {
+	var m Mask
+	for i := 0; i < Lanes; i++ {
+		m |= Mask(v[i]>>63) << i
+	}
+	return m
+}
+
+// TestBits returns a mask of lanes whose value has the probe bit set after
+// indexing a bitset: lane i is enabled iff bits[idx[i]/64] has bit idx[i]%64.
+// This is the vectorized frontier-membership check.
+func TestBits(bits []uint64, idx U64x4, m Mask) Mask {
+	var out Mask
+	for i := 0; i < Lanes; i++ {
+		if m.Bit(i) && bits[idx[i]>>6]&(1<<(idx[i]&63)) != 0 {
+			out |= 1 << i
+		}
+	}
+	return out
+}

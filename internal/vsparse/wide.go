@@ -1,0 +1,185 @@
+package vsparse
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+)
+
+// This file generalizes Vector-Sparse to wider vectors, as §4 anticipates:
+// "its underlying ideas are generalizable to other vector architectures and
+// longer vectors (e.g., 512-bit vectors in AVX-512)". A WideArray packs
+// WideLanes edges per vector; the 48-bit top-level vertex id is split into
+// 6-bit pieces, one per lane, in bits 53:48 (the valid bit stays at 63).
+// Fig 9 predicts the trade-off this realizes: wider vectors amortize more
+// bookkeeping per edge but waste more padding on low-degree vertices.
+
+// WideLanes is the lane count of the 512-bit format.
+const WideLanes = 8
+
+const (
+	widePieceBits = 48 / WideLanes // 6
+	widePieceMask = (uint64(1) << widePieceBits) - 1
+)
+
+// WideArray is the 8-lane Vector-Sparse edge structure.
+type WideArray struct {
+	// N is the number of top-level vertices.
+	N int
+	// Words holds lane data, WideLanes lanes per vector.
+	Words []uint64
+	// Weights is lane-parallel (nil when unweighted).
+	Weights []float32
+	// Index maps a top-level vertex to its first vector.
+	Index []int
+	// ByDest records the grouping.
+	ByDest bool
+	// ValidEdges counts real (non-padding) lanes.
+	ValidEdges int
+}
+
+// NumVectors returns the vector count.
+func (a *WideArray) NumVectors() int { return len(a.Words) / WideLanes }
+
+// EncodeWideLane builds one lane word for a vector belonging to top-level
+// vertex top: lane index `lane` carries top-id piece number `lane`.
+func EncodeWideLane(top uint64, lane int, neighbor uint64, valid bool) uint64 {
+	shift := uint(48 - widePieceBits*(lane+1)) // piece 0 is most significant
+	w := ((top >> shift) & widePieceMask) << pieceShift
+	w |= neighbor & VertexMask
+	if valid {
+		w |= ValidBit
+	}
+	return w
+}
+
+// DecodeTopWide reassembles the 48-bit top-level id from a vector's lane
+// words.
+func DecodeTopWide(lanes []uint64) uint64 {
+	var top uint64
+	for i := 0; i < WideLanes; i++ {
+		top = top<<widePieceBits | (lanes[i]>>pieceShift)&widePieceMask
+	}
+	return top
+}
+
+// FromCSRWide converts a Compressed-Sparse matrix into the 8-lane format.
+// Padding lanes replicate the group's last neighbor, as in the 4-lane
+// encoder.
+func FromCSRWide(m *csr.Matrix) *WideArray {
+	a := &WideArray{N: m.N, ByDest: m.ByDest, ValidEdges: m.NumEdges()}
+	a.Index = make([]int, m.N+1)
+	total := 0
+	for v := 0; v < m.N; v++ {
+		a.Index[v] = total
+		total += (m.Degree(uint32(v)) + WideLanes - 1) / WideLanes
+	}
+	a.Index[m.N] = total
+	a.Words = make([]uint64, total*WideLanes)
+	if m.Weights != nil {
+		a.Weights = make([]float32, total*WideLanes)
+	}
+	out := 0
+	for v := 0; v < m.N; v++ {
+		neigh := m.Edges(uint32(v))
+		weights := m.EdgeWeights(uint32(v))
+		for lo := 0; lo < len(neigh); lo += WideLanes {
+			valid := len(neigh) - lo
+			if valid > WideLanes {
+				valid = WideLanes
+			}
+			base := out * WideLanes
+			for lane := 0; lane < WideLanes; lane++ {
+				n := uint64(neigh[lo+valid-1]) // padding default
+				if lane < valid {
+					n = uint64(neigh[lo+lane])
+				}
+				a.Words[base+lane] = EncodeWideLane(uint64(v), lane, n, lane < valid)
+				if weights != nil && lane < valid {
+					a.Weights[base+lane] = weights[lo+lane]
+				}
+			}
+			out++
+		}
+	}
+	return a
+}
+
+// ToCSR reconstructs the matrix, dropping padding lanes.
+func (a *WideArray) ToCSR() *csr.Matrix {
+	m := &csr.Matrix{N: a.N, ByDest: a.ByDest}
+	m.Index = make([]uint64, a.N+1)
+	m.Neigh = make([]uint32, 0, a.ValidEdges)
+	if a.Weights != nil {
+		m.Weights = make([]float32, 0, a.ValidEdges)
+	}
+	for v := 0; v < a.N; v++ {
+		m.Index[v] = uint64(len(m.Neigh))
+		for vi := a.Index[v]; vi < a.Index[v+1]; vi++ {
+			base := vi * WideLanes
+			for lane := 0; lane < WideLanes; lane++ {
+				w := a.Words[base+lane]
+				if w&ValidBit == 0 {
+					continue
+				}
+				m.Neigh = append(m.Neigh, uint32(w&VertexMask))
+				if a.Weights != nil {
+					m.Weights = append(m.Weights, a.Weights[base+lane])
+				}
+			}
+		}
+	}
+	m.Index[a.N] = uint64(len(m.Neigh))
+	return m
+}
+
+// Validate checks the wide-format invariants.
+func (a *WideArray) Validate() error {
+	if len(a.Words)%WideLanes != 0 {
+		return fmt.Errorf("vsparse: wide words not a whole number of vectors")
+	}
+	live := 0
+	for v := 0; v < a.N; v++ {
+		for vi := a.Index[v]; vi < a.Index[v+1]; vi++ {
+			base := vi * WideLanes
+			lanes := a.Words[base : base+WideLanes]
+			if got := DecodeTopWide(lanes); got != uint64(v) {
+				return fmt.Errorf("vsparse: wide vector %d embeds top %d, owned by %d", vi, got, v)
+			}
+			seenInvalid := false
+			anyValid := false
+			for lane := 0; lane < WideLanes; lane++ {
+				if lanes[lane]&ValidBit != 0 {
+					if seenInvalid {
+						return fmt.Errorf("vsparse: wide vector %d validity not a prefix", vi)
+					}
+					if lanes[lane]&VertexMask >= uint64(a.N) {
+						return fmt.Errorf("vsparse: wide vector %d lane %d out of range", vi, lane)
+					}
+					live++
+					anyValid = true
+				} else {
+					seenInvalid = true
+				}
+			}
+			if !anyValid {
+				return fmt.Errorf("vsparse: wide vector %d has no valid lanes", vi)
+			}
+		}
+	}
+	if a.Index[a.N] != a.NumVectors() {
+		return fmt.Errorf("vsparse: wide index does not cover vectors")
+	}
+	if live != a.ValidEdges {
+		return fmt.Errorf("vsparse: wide live lanes %d != recorded %d", live, a.ValidEdges)
+	}
+	return nil
+}
+
+// PackingEfficiency is the live-lane fraction.
+func (a *WideArray) PackingEfficiency() float64 {
+	if len(a.Words) == 0 {
+		return 0
+	}
+	return float64(a.ValidEdges) / float64(len(a.Words))
+}

@@ -1,0 +1,85 @@
+package vsparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/csr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestWideEncodeDecodeTop(t *testing.T) {
+	for _, top := range []uint64{0, 1, 63, 64, 1 << 20, (1 << 48) - 1, 0xABCDEF012345} {
+		lanes := make([]uint64, WideLanes)
+		for i := range lanes {
+			lanes[i] = EncodeWideLane(top, i, uint64(i), true)
+		}
+		if got := DecodeTopWide(lanes); got != top {
+			t.Errorf("DecodeTopWide = %#x, want %#x", got, top)
+		}
+	}
+}
+
+func TestWideRoundTrip(t *testing.T) {
+	g := gen.RMAT(8, 900, gen.DefaultRMAT, 13)
+	m := csr.FromGraph(g, true)
+	a := FromCSRWide(m)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := a.ToCSR()
+	if !reflect.DeepEqual(m.Index, back.Index) || !reflect.DeepEqual(m.Neigh, back.Neigh) {
+		t.Error("wide round trip corrupted the matrix")
+	}
+}
+
+func TestWideWeighted(t *testing.T) {
+	g := gen.AddUniformWeights(gen.ErdosRenyi(40, 300, 3), 4)
+	m := csr.FromGraph(g, true)
+	a := FromCSRWide(m)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := a.ToCSR()
+	if !reflect.DeepEqual(m.Weights, back.Weights) {
+		t.Error("wide weights corrupted")
+	}
+}
+
+func TestWidePackingBelowNarrow(t *testing.T) {
+	g := gen.RMAT(9, 2500, gen.DefaultRMAT, 17)
+	m := csr.FromGraph(g, true)
+	narrow := FromCSR(m).PackingEfficiency()
+	wide := FromCSRWide(m).PackingEfficiency()
+	if wide > narrow+1e-12 {
+		t.Errorf("8-lane packing %v exceeds 4-lane %v", wide, narrow)
+	}
+	// And it must equal the analytic prediction used by Fig 9.
+	if analytic := PackingEfficiencyForLanes(g.InDegrees(), WideLanes); wide != analytic {
+		t.Errorf("wide packing %v != analytic %v", wide, analytic)
+	}
+}
+
+func TestWideRoundTripProperty(t *testing.T) {
+	f := func(seed int64, byDest bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		b := graph.NewBuilder(n)
+		for i := rng.Intn(400); i > 0; i-- {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		m := csr.FromGraph(b.MustBuild(), byDest)
+		a := FromCSRWide(m)
+		if a.Validate() != nil {
+			return false
+		}
+		back := a.ToCSR()
+		return reflect.DeepEqual(m.Index, back.Index) && reflect.DeepEqual(m.Neigh, back.Neigh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
