@@ -193,30 +193,33 @@ func BenchmarkFig10Phase(b *testing.B) {
 		b.Run("Edge-Pull/"+kernel, func(b *testing.B) {
 			r := core.NewRunner(cg, core.Options{Scalar: scalar, Mode: core.EnginePullOnly})
 			defer r.Close()
-			r.Init(p)
+			ec := r.NewContext()
+			ec.Init(p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.RunEdgePull(r, p)
+				core.RunEdgePull(ec, p)
 			}
 			reportEdges(b, g.NumEdges())
 		})
 		b.Run("Edge-Push/"+kernel, func(b *testing.B) {
 			r := core.NewRunner(cg, core.Options{Scalar: scalar, Mode: core.EnginePushOnly})
 			defer r.Close()
-			r.Init(p)
+			ec := r.NewContext()
+			ec.Init(p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.RunEdgePush(r, p)
+				core.RunEdgePush(ec, p)
 			}
 			reportEdges(b, g.NumEdges())
 		})
 		b.Run("Vertex/"+kernel, func(b *testing.B) {
 			r := core.NewRunner(cg, core.Options{Scalar: scalar})
 			defer r.Close()
-			r.Init(p)
+			ec := r.NewContext()
+			ec.Init(p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.RunVertex(r, p)
+				core.RunVertex(ec, p)
 			}
 		})
 	}

@@ -1,12 +1,16 @@
 package grazelle
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one of the repository's executables into a shared temp
@@ -144,5 +148,98 @@ func TestCLIBenchfig(t *testing.T) {
 	}
 	if out, err = runCLI(t, "benchfig"); err == nil {
 		t.Errorf("no experiment accepted:\n%s", out)
+	}
+}
+
+func TestCLIGrazelleServe(t *testing.T) {
+	bin := filepath.Join(cliBinaries(t), "grazelle")
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-d", "C", "-scale", "0.25")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The server prints its resolved address once the listener is up.
+	var base string
+	{
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				base = strings.TrimSpace(line[i:])
+				break
+			}
+		}
+		if base == "" {
+			t.Fatalf("server never announced its address: %v", sc.Err())
+		}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	postJSON := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if resp, err := client.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// PageRank on the preloaded "default" graph.
+	code, m := postJSON("/v1/query", `{"app":"pr","iters":8}`)
+	if code != 200 {
+		t.Fatalf("pr query: status %d body %v", code, m)
+	}
+	if sum, ok := m["rank_sum"].(float64); !ok || sum < 0.999 || sum > 1.001 {
+		t.Errorf("rank_sum = %v", m["rank_sum"])
+	}
+	if it, _ := m["iterations"].(float64); it != 8 {
+		t.Errorf("iterations = %v, want 8", m["iterations"])
+	}
+
+	// Load a second graph through the API and query it.
+	code, m = postJSON("/v1/graphs", `{"name":"d2","dataset":"D","scale":0.1}`)
+	if code != 200 {
+		t.Fatalf("load graph: status %d body %v", code, m)
+	}
+	code, m = postJSON("/v1/query", `{"graph":"d2","app":"cc"}`)
+	if code != 200 {
+		t.Fatalf("cc query: status %d body %v", code, m)
+	}
+	if _, ok := m["components"]; !ok {
+		t.Errorf("cc response missing components: %v", m)
+	}
+
+	// Unknown graph and unknown app are client errors.
+	if code, _ = postJSON("/v1/query", `{"graph":"nope","app":"pr"}`); code != 404 {
+		t.Errorf("unknown graph: status %d, want 404", code)
+	}
+	if code, _ = postJSON("/v1/query", `{"app":"nope"}`); code != 400 {
+		t.Errorf("unknown app: status %d, want 400", code)
+	}
+
+	// A 1 ms budget cannot fit 1<<20 PageRank iterations: the per-request
+	// timeout must cut the run short with 504.
+	code, m = postJSON("/v1/query", `{"app":"pr","iters":1048576,"timeout_ms":1}`)
+	if code != 504 {
+		t.Errorf("timeout query: status %d body %v, want 504", code, m)
 	}
 }

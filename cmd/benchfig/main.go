@@ -35,6 +35,7 @@ func run() error {
 		repeats  = flag.Int("repeats", 0, "timing repetitions (minimum reported)")
 		quick    = flag.Bool("quick", false, "reduced sizes for a fast pass")
 		datasets = flag.String("datasets", "", "comma-free dataset abbreviations, e.g. \"TDU\" (default all)")
+		benchOut = flag.String("bench-json", "", "write a PR/CC/BFS timing snapshot as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -60,6 +61,19 @@ func run() error {
 			}
 			cfg.Datasets = append(cfg.Datasets, d)
 		}
+	}
+
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return err
+		}
+		if err := harness.BenchJSON(cfg, f); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("benchfig: wrote %s\n", *benchOut)
+		return f.Close()
 	}
 
 	names := flag.Args()

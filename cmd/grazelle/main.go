@@ -5,6 +5,8 @@
 // -u the (simulated) socket count, and -o an optional per-vertex output
 // file. Execution statistics, including the PageRank Sum correctness check,
 // are printed to standard output.
+//
+// `grazelle serve` instead starts the JSON-over-HTTP service (see serve.go).
 package main
 
 import (
@@ -18,6 +20,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "grazelle:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "grazelle:", err)
 		os.Exit(1)

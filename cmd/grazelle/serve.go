@@ -1,0 +1,337 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	grazelle "repro"
+)
+
+// serve mode: `grazelle serve` turns the engine into a small JSON-over-HTTP
+// service — the first traffic-facing surface of the reproduction. One
+// process holds any number of named graphs, each with a shared Engine;
+// queries against one graph run concurrently on one worker pool and honor a
+// per-request timeout at scheduler-chunk granularity.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	GET  /v1/graphs          list loaded graphs
+//	POST /v1/graphs          load or generate a graph
+//	                         {"name":"t","dataset":"T","scale":1.0} or
+//	                         {"name":"g","path":"/data/graph"} (file pair)
+//	POST /v1/query           run an application
+//	                         {"graph":"t","app":"pr","iters":16,
+//	                          "root":0,"timeout_ms":500,"values":false}
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8473", "listen address")
+		threads = fs.Int("n", 0, "total worker threads per engine (0 = GOMAXPROCS)")
+		timeout = fs.Duration("timeout", 30*time.Second, "maximum per-request timeout")
+		dataset = fs.String("d", "", "preload a dataset analog as graph \"default\"")
+		scale   = fs.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
+		input   = fs.String("i", "", "preload a graph file pair as graph \"default\"")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := newServer(grazelle.Options{Workers: *threads}, *timeout)
+	defer srv.close()
+
+	switch {
+	case *dataset != "":
+		g, err := grazelle.GenerateDataset(*dataset, *scale)
+		if err != nil {
+			return err
+		}
+		srv.add("default", g)
+	case *input != "":
+		g, err := grazelle.LoadGraphPair(*input)
+		if err != nil {
+			return err
+		}
+		srv.add("default", g)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address is printed (not just logged) so callers binding
+	// port 0 can discover the port.
+	fmt.Printf("grazelle: serving on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
+	return hs.Serve(ln)
+}
+
+// server is the shared state behind the HTTP handlers. The mutex guards the
+// graph registry only; queries run outside it, concurrently, each engine
+// being safe for concurrent use.
+type server struct {
+	opt        grazelle.Options
+	maxTimeout time.Duration
+
+	mu     sync.Mutex
+	graphs map[string]*graphEntry
+}
+
+type graphEntry struct {
+	g *grazelle.Graph
+	e *grazelle.Engine
+}
+
+func newServer(opt grazelle.Options, maxTimeout time.Duration) *server {
+	return &server{opt: opt, maxTimeout: maxTimeout, graphs: make(map[string]*graphEntry)}
+}
+
+func (s *server) add(name string, g *grazelle.Graph) {
+	ent := &graphEntry{g: g, e: grazelle.NewEngine(g, s.opt)}
+	s.mu.Lock()
+	if old, ok := s.graphs[name]; ok {
+		old.e.Close()
+	}
+	s.graphs[name] = ent
+	s.mu.Unlock()
+}
+
+func (s *server) lookup(name string) (*graphEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.graphs[name]
+	return ent, ok
+}
+
+func (s *server) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ent := range s.graphs {
+		ent.e.Close()
+	}
+	s.graphs = make(map[string]*graphEntry)
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	return mux
+}
+
+type graphInfo struct {
+	Name              string  `json:"name"`
+	Vertices          int     `json:"vertices"`
+	Edges             int     `json:"edges"`
+	Weighted          bool    `json:"weighted"`
+	PackingEfficiency float64 `json:"packing_efficiency"`
+}
+
+func infoOf(name string, g *grazelle.Graph) graphInfo {
+	return graphInfo{
+		Name:              name,
+		Vertices:          g.NumVertices(),
+		Edges:             g.NumEdges(),
+		Weighted:          g.Weighted(),
+		PackingEfficiency: g.PackingEfficiency(),
+	}
+}
+
+func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		infos := make([]graphInfo, 0, len(s.graphs))
+		for name, ent := range s.graphs {
+			infos = append(infos, infoOf(name, ent.g))
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	case http.MethodPost:
+		var req struct {
+			Name    string  `json:"name"`
+			Dataset string  `json:"dataset"`
+			Scale   float64 `json:"scale"`
+			Path    string  `json:"path"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Name == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing graph name"))
+			return
+		}
+		var g *grazelle.Graph
+		var err error
+		switch {
+		case req.Dataset != "":
+			if req.Scale == 0 {
+				req.Scale = 1.0
+			}
+			g, err = grazelle.GenerateDataset(req.Dataset, req.Scale)
+		case req.Path != "":
+			g, err = grazelle.LoadGraphPair(req.Path)
+		default:
+			err = errors.New("one of dataset or path is required")
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.add(req.Name, g)
+		writeJSON(w, http.StatusOK, infoOf(req.Name, g))
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// queryResponse is the JSON shape of a /v1/query result. Exactly one of the
+// per-application summary fields is set; Values carries per-vertex output
+// only when the request asked for it.
+type queryResponse struct {
+	Graph      string `json:"graph"`
+	App        string `json:"app"`
+	Iterations int    `json:"iterations"`
+	PullIters  int    `json:"pull_iterations"`
+	PushIters  int    `json:"push_iterations"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+
+	RankSum    *float64 `json:"rank_sum,omitempty"`
+	Components *int     `json:"components,omitempty"`
+	Reachable  *int     `json:"reachable,omitempty"`
+
+	Values any `json:"values,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Graph     string `json:"graph"`
+		App       string `json:"app"`
+		Iters     int    `json:"iters"`
+		Root      uint32 `json:"root"`
+		TimeoutMS int64  `json:"timeout_ms"`
+		Values    bool   `json:"values"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Graph == "" {
+		req.Graph = "default"
+	}
+	ent, ok := s.lookup(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", req.Graph))
+		return
+	}
+	if req.Iters <= 0 {
+		req.Iters = 16
+	}
+	timeout := s.maxTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp := queryResponse{Graph: req.Graph, App: req.App}
+	var stats grazelle.Stats
+	var err error
+	switch req.App {
+	case "pr":
+		var res grazelle.PageRankResult
+		res, err = ent.e.PageRankCtx(ctx, req.Iters)
+		resp.RankSum = &res.Sum
+		stats = res.Stats
+		if req.Values {
+			resp.Values = res.Ranks
+		}
+	case "wpr":
+		var res grazelle.PageRankResult
+		res, err = ent.e.WeightedRankCtx(ctx, req.Iters)
+		resp.RankSum = &res.Sum
+		stats = res.Stats
+		if req.Values {
+			resp.Values = res.Ranks
+		}
+	case "cc":
+		var res grazelle.ComponentsResult
+		res, err = ent.e.ConnectedComponentsCtx(ctx)
+		if res.Components != nil {
+			n := res.NumComponents()
+			resp.Components = &n
+		}
+		stats = res.Stats
+		if req.Values {
+			resp.Values = res.Components
+		}
+	case "bfs":
+		var res grazelle.BFSResult
+		res, err = ent.e.BFSCtx(ctx, req.Root)
+		if res.Parents != nil {
+			n := res.Reachable()
+			resp.Reachable = &n
+		}
+		stats = res.Stats
+		if req.Values {
+			resp.Values = res.Parents
+		}
+	case "sssp":
+		var res grazelle.SSSPResult
+		res, err = ent.e.SSSPCtx(ctx, req.Root)
+		if res.Dist != nil {
+			n := res.Finite()
+			resp.Reachable = &n
+		}
+		stats = res.Stats
+		if req.Values {
+			resp.Values = res.Dist
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", req.App))
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp.Iterations = stats.Iterations
+	resp.PullIters = stats.PullIterations
+	resp.PushIters = stats.PushIterations
+	resp.ElapsedMS = stats.Total.Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "grazelle: encode response:", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -22,6 +22,7 @@
 package grazelle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -170,7 +171,14 @@ type Options struct {
 }
 
 // Engine executes graph applications on one Graph. Engines hold a worker
-// pool; Close them when done. An Engine is not safe for concurrent use.
+// pool; Close them when done.
+//
+// An Engine is safe for concurrent use: any number of goroutines may run
+// applications on one Engine at once. Each run executes in its own
+// per-run context while the shared pool multiplexes their chunks over one
+// worker set, so results are identical to solo runs. The Ctx variants
+// (PageRankCtx, BFSCtx, ...) additionally honor cancellation and deadlines
+// at scheduler-chunk granularity.
 type Engine struct {
 	g *Graph
 	r *core.Runner
@@ -203,7 +211,8 @@ func NewEngine(g *Graph, opt Options) *Engine {
 	return &Engine{g: g, r: core.NewRunner(g.core, copt)}
 }
 
-// Close releases the engine's worker pool.
+// Close releases the engine's worker pool. Close is idempotent; the
+// engine must not be used after the first Close.
 func (e *Engine) Close() { e.r.Close() }
 
 // Graph returns the engine's graph.
@@ -247,27 +256,42 @@ type PageRankResult struct {
 // PageRank runs iters iterations of damped (0.85) PageRank with
 // dangling-mass redistribution.
 func (e *Engine) PageRank(iters int) PageRankResult {
-	res := core.Run(e.r, apps.NewPageRank(e.g.src), iters)
+	res, _ := e.PageRankCtx(context.Background(), iters)
+	return res
+}
+
+// PageRankCtx is PageRank with cancellation: when ctx is cancelled or its
+// deadline passes, the run stops within one scheduler chunk boundary and
+// returns the ranks of the last completed iteration alongside a non-nil
+// error wrapping ctx.Err().
+func (e *Engine) PageRankCtx(ctx context.Context, iters int) (PageRankResult, error) {
+	res, err := core.RunCtx(ctx, e.r, apps.NewPageRank(e.g.src), iters)
 	return PageRankResult{
 		Ranks: apps.Ranks(res.Props),
 		Sum:   apps.RankSum(res.Props),
 		Stats: statsOf(res),
-	}
+	}, err
 }
 
 // WeightedRank runs the Collaborative-Filtering-like weighted rank kernel
 // (§6: PageRank's access pattern with edge weights folded in). The graph
 // must be weighted.
 func (e *Engine) WeightedRank(iters int) (PageRankResult, error) {
+	return e.WeightedRankCtx(context.Background(), iters)
+}
+
+// WeightedRankCtx is WeightedRank with cancellation at scheduler-chunk
+// granularity (see PageRankCtx).
+func (e *Engine) WeightedRankCtx(ctx context.Context, iters int) (PageRankResult, error) {
 	if !e.g.Weighted() {
 		return PageRankResult{}, fmt.Errorf("grazelle: WeightedRank requires a weighted graph")
 	}
-	res := core.Run(e.r, apps.NewWeightedRank(e.g.src), iters)
+	res, err := core.RunCtx(ctx, e.r, apps.NewWeightedRank(e.g.src), iters)
 	return PageRankResult{
 		Ranks: apps.Ranks(res.Props),
 		Sum:   apps.RankSum(res.Props),
 		Stats: statsOf(res),
-	}, nil
+	}, err
 }
 
 // ComponentsResult holds Connected Components output.
@@ -282,8 +306,15 @@ type ComponentsResult struct {
 
 // ConnectedComponents runs min-label propagation to a fixpoint.
 func (e *Engine) ConnectedComponents() ComponentsResult {
-	res := core.Run(e.r, apps.NewConnComp(), 1<<30)
-	return ComponentsResult{Components: apps.Components(res.Props), Stats: statsOf(res)}
+	res, _ := e.ConnectedComponentsCtx(context.Background())
+	return res
+}
+
+// ConnectedComponentsCtx is ConnectedComponents with cancellation at
+// scheduler-chunk granularity (see PageRankCtx).
+func (e *Engine) ConnectedComponentsCtx(ctx context.Context) (ComponentsResult, error) {
+	res, err := core.RunCtx(ctx, e.r, apps.NewConnComp(), 1<<30)
+	return ComponentsResult{Components: apps.Components(res.Props), Stats: statsOf(res)}, err
 }
 
 // NoParent marks an unreached vertex in BFSResult.Parents.
@@ -300,7 +331,14 @@ type BFSResult struct {
 
 // BFS runs breadth-first search from root.
 func (e *Engine) BFS(root uint32) BFSResult {
-	res := core.Run(e.r, apps.NewBFS(root), 1<<30)
+	res, _ := e.BFSCtx(context.Background(), root)
+	return res
+}
+
+// BFSCtx is BFS with cancellation at scheduler-chunk granularity (see
+// PageRankCtx).
+func (e *Engine) BFSCtx(ctx context.Context, root uint32) (BFSResult, error) {
+	res, err := core.RunCtx(ctx, e.r, apps.NewBFS(root), 1<<30)
 	parents := make([]int64, len(res.Props))
 	for i, p := range res.Props {
 		if p == apps.NoParent {
@@ -309,7 +347,7 @@ func (e *Engine) BFS(root uint32) BFSResult {
 			parents[i] = int64(p)
 		}
 	}
-	return BFSResult{Parents: parents, Stats: statsOf(res)}
+	return BFSResult{Parents: parents, Stats: statsOf(res)}, err
 }
 
 // SSSPResult holds Single-Source Shortest Paths output.
@@ -324,11 +362,17 @@ type SSSPResult struct {
 // SSSP runs synchronous Bellman-Ford from root over non-negative edge
 // weights. The graph must be weighted.
 func (e *Engine) SSSP(root uint32) (SSSPResult, error) {
+	return e.SSSPCtx(context.Background(), root)
+}
+
+// SSSPCtx is SSSP with cancellation at scheduler-chunk granularity (see
+// PageRankCtx).
+func (e *Engine) SSSPCtx(ctx context.Context, root uint32) (SSSPResult, error) {
 	if !e.g.Weighted() {
 		return SSSPResult{}, fmt.Errorf("grazelle: SSSP requires a weighted graph")
 	}
-	res := core.Run(e.r, apps.NewSSSP(root), 1<<30)
-	return SSSPResult{Dist: apps.Distances(res.Props), Stats: statsOf(res)}, nil
+	res, err := core.RunCtx(ctx, e.r, apps.NewSSSP(root), 1<<30)
+	return SSSPResult{Dist: apps.Distances(res.Props), Stats: statsOf(res)}, err
 }
 
 // Reachable reports how many vertices a BFS result visited.
@@ -342,13 +386,20 @@ func (r BFSResult) Reachable() int {
 	return n
 }
 
-// NumComponents counts distinct labels in a components result.
+// NumComponents counts distinct labels in a components result. Labels are
+// vertex ids (each component is labeled by its minimum member), so a dense
+// bitmap over the vertex space beats a hash set by orders of magnitude on
+// large graphs.
 func (r ComponentsResult) NumComponents() int {
-	seen := make(map[uint32]struct{})
+	seen := make([]bool, len(r.Components))
+	n := 0
 	for _, c := range r.Components {
-		seen[c] = struct{}{}
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // Finite reports how many vertices an SSSP result reached.

@@ -15,7 +15,7 @@ import (
 // RunEdgePull executes one Edge-Pull phase with the configured variant and
 // kernel (vectorized Vector-Sparse or scalar Compressed-Sparse). Aggregates
 // land in the Runner's accumulator array; RunVertex consumes them.
-func RunEdgePull[P apps.Program](r *Runner, p P) {
+func RunEdgePull[P apps.Program](r *ExecContext, p P) {
 	t0 := time.Now()
 	switch {
 	case r.opt.Variant == PullOuterOnly:
@@ -48,7 +48,7 @@ func RunEdgePull[P apps.Program](r *Runner, p P) {
 // accumulator, to shared memory only on outer-loop transitions (at most one
 // chunk contains each vertex's last vector), or to the chunk's private merge
 // buffer slot.
-func edgePullSA[P apps.Program](r *Runner, p P) {
+func edgePullSA[P apps.Program](r *ExecContext, p P) {
 	a := r.g.VSD
 	total := a.NumVectors()
 	if total == 0 {
@@ -167,7 +167,7 @@ func edgePullSA[P apps.Program](r *Runner, p P) {
 // mergeAccum folds the merge buffer into the shared accumulators
 // (Listing 6). It runs on one thread after the barrier — the paper found
 // this "extremely fast for the real-world graphs we studied".
-func mergeAccum[P apps.Program](r *Runner, p P, identity uint64) {
+func mergeAccum[P apps.Program](r *ExecContext, p P, identity uint64) {
 	t0 := time.Now()
 	n := r.mergeBuf.Merge(func(dst uint32, v uint64) {
 		if v != identity {
@@ -185,7 +185,7 @@ func mergeAccum[P apps.Program](r *Runner, p P, identity uint64) {
 // write each edge's contribution straight to shared memory — with a CAS
 // (useAtomics) or, for the "Traditional, Nonatomic" reference point of
 // Figs 5 and 8, a racy plain read-modify-write.
-func edgePullTraditional[P apps.Program](r *Runner, p P, useAtomics bool) {
+func edgePullTraditional[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 	a := r.g.VSD
 	total := a.NumVectors()
 	if total == 0 {
@@ -295,7 +295,7 @@ func plainCombine[P apps.Program](p P, addr *uint64, msg uint64, skipEqual bool,
 // configuration of Fig 1). No synchronization is needed, but skewed
 // graphs suffer the load imbalance that motivates inner-loop
 // parallelization.
-func edgePullOuterOnly[P apps.Program](r *Runner, p P) {
+func edgePullOuterOnly[P apps.Program](r *ExecContext, p P) {
 	m := r.g.CSC
 	identity := p.Identity()
 	usesFrontier := p.UsesFrontier()
@@ -347,7 +347,7 @@ func edgePullOuterOnly[P apps.Program](r *Runner, p P) {
 // bar. It chunks the edge array directly; per-edge it pays the transition
 // check, frontier probe, and per-element access that the Vector-Sparse
 // kernel amortizes over four lanes.
-func edgePullSAScalar[P apps.Program](r *Runner, p P) {
+func edgePullSAScalar[P apps.Program](r *ExecContext, p P) {
 	m := r.g.CSC
 	total := m.NumEdges()
 	if total == 0 {
@@ -413,7 +413,7 @@ func edgePullSAScalar[P apps.Program](r *Runner, p P) {
 // Compressed-Sparse: a parallel loop over edges whose body writes each
 // contribution to shared memory (Listing 2 with the inner for changed to
 // parallel_for), with or without atomics.
-func edgePullTraditionalScalar[P apps.Program](r *Runner, p P, useAtomics bool) {
+func edgePullTraditionalScalar[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 	m := r.g.CSC
 	total := m.NumEdges()
 	if total == 0 {
@@ -478,7 +478,7 @@ func signMask4(v0, v1, v2, v3 uint64) vec.Mask {
 
 // countLocality classifies four gathered source reads against the worker's
 // simulated NUMA node.
-func countLocality(r *Runner, node int, c *perfmodel.Counters, ns ...uint64) {
+func countLocality(r *ExecContext, node int, c *perfmodel.Counters, ns ...uint64) {
 	for _, n := range ns {
 		if r.propOwner.Owner(uint32(n)) == node {
 			c.LocalAccesses++
@@ -490,10 +490,10 @@ func countLocality(r *Runner, node int, c *perfmodel.Counters, ns ...uint64) {
 
 // vertexPartition and edgePartition give the NUMA partitions of the vertex
 // and CSC-edge index spaces (cheap to recompute per phase).
-func (r *Runner) vertexPartition() numa.Partition {
+func (r *ExecContext) vertexPartition() numa.Partition {
 	return numa.PartitionEven(r.g.N, r.topo.Nodes)
 }
 
-func (r *Runner) edgePartition() numa.Partition {
+func (r *ExecContext) edgePartition() numa.Partition {
 	return numa.PartitionEven(r.g.CSC.NumEdges(), r.topo.Nodes)
 }

@@ -16,7 +16,7 @@ import (
 // write. Push uses the traditional parallelization in Grazelle (§5: "its
 // push engine uses the traditional approach"); scheduler awareness cannot
 // help because writes scatter across destinations.
-func RunEdgePush[P apps.Program](r *Runner, p P) {
+func RunEdgePush[P apps.Program](r *ExecContext, p P) {
 	t0 := time.Now()
 	if r.opt.Scalar {
 		edgePushScalar(r, p)
@@ -32,7 +32,7 @@ func RunEdgePush[P apps.Program](r *Runner, p P) {
 // property load per source vector, messages computed per lane, but the
 // scatter is a per-lane CAS — there is no atomic-update-scatter instruction
 // (§6.2's explanation for push's flat vectorization response).
-func edgePushVectorized[P apps.Program](r *Runner, p P) {
+func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 	a := r.g.VSS
 	total := a.NumVectors()
 	if total == 0 {
@@ -103,7 +103,7 @@ func edgePushVectorized[P apps.Program](r *Runner, p P) {
 
 // edgePushScalar is the Compressed-Sparse push kernel: chunked over source
 // vertices, inner loop serial, one CAS per live edge.
-func edgePushScalar[P apps.Program](r *Runner, p P) {
+func edgePushScalar[P apps.Program](r *ExecContext, p P) {
 	m := r.g.CSR
 	usesFrontier := p.UsesFrontier()
 	tracksConv := p.TracksConverged()

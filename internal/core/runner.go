@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,9 +16,12 @@ import (
 	"repro/internal/vsparse"
 )
 
-// Runner owns the execution state of one graph: worker pool, property and
-// accumulator arrays, frontier structures, merge buffer, and counters. A
-// Runner is reused across runs; it is not safe for concurrent use.
+// Runner is the shared, immutable half of the execution stack: the
+// preprocessed graph, the worker pool, the simulated NUMA topology, and the
+// precomputed partitions. A Runner is safe for concurrent use — any number
+// of goroutines may call Run/RunCtx on one Runner at once; each run executes
+// in its own ExecContext while the pool multiplexes their chunks over one
+// worker set.
 type Runner struct {
 	g       *Graph
 	opt     Options
@@ -23,19 +29,40 @@ type Runner struct {
 	ownPool bool
 	topo    numa.Topology
 
+	// partitions of the two vector arrays across simulated NUMA nodes.
+	pullPart, pushPart numa.Partition
+	propOwner          numa.PropertyMap
+
+	// mergeSlots sizes each ExecContext's merge buffer for the worst-case
+	// chunk count across phases.
+	mergeSlots int
+
+	closeOnce sync.Once
+	ctxPool   sync.Pool
+}
+
+// ExecContext is the per-run half: property and accumulator arrays, frontier
+// structures, merge buffer, counters, and the run's cancellation state. An
+// ExecContext is single-tenant (one run at a time), but distinct contexts
+// of one Runner execute concurrently. The embedded Runner provides the
+// shared graph, pool, and topology.
+type ExecContext struct {
+	*Runner
+
 	props, accum []uint64
 	front, next  *frontier.Dense
 	conv         *frontier.Dense
 	touched      *frontier.Dense
 	mergeBuf     *sched.MergeBuffer
 
-	// partitions of the two vector arrays across simulated NUMA nodes.
-	pullPart, pushPart numa.Partition
-	propOwner          numa.PropertyMap
-
 	// edgeRec and vertexRec collect counters when Options.Record is set;
 	// nil otherwise.
 	edgeRec, vertexRec *perfmodel.Recorder
+
+	// ctx and done carry the run's cancellation signal; chunk-claim loops
+	// poll done so cancellation takes effect within one chunk boundary.
+	ctx  context.Context
+	done <-chan struct{}
 }
 
 // NewRunner creates a Runner for graph g.
@@ -56,34 +83,25 @@ func NewRunner(g *Graph, opt Options) *Runner {
 	if r.topo.TotalWorkers() != r.pool.Workers() {
 		panic("core: topology workers != pool workers")
 	}
-	r.props = make([]uint64, g.N)
-	r.accum = make([]uint64, g.N)
-	r.front = frontier.NewDense(g.N)
-	r.next = frontier.NewDense(g.N)
-	r.conv = frontier.NewDense(g.N)
-	r.touched = frontier.NewDense(g.N)
 	r.pullPart = numa.PartitionEven(g.VSD.NumVectors(), r.topo.Nodes)
 	r.pushPart = numa.PartitionEven(g.VSS.NumVectors(), r.topo.Nodes)
 	r.propOwner = numa.NewPropertyMap(g.N, r.topo)
-	// Merge buffer sized for the worst-case chunk count across phases.
 	maxVectors := g.VSD.NumVectors()
 	if g.CSC.NumEdges() > maxVectors {
 		maxVectors = g.CSC.NumEdges() // scalar kernels chunk over edges
 	}
 	chunkSize := r.opt.chunkSizeFor(maxVectors, r.pool.Workers())
-	r.mergeBuf = sched.NewMergeBuffer(sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes)
-	if opt.Record {
-		r.edgeRec = perfmodel.NewRecorder(r.pool.Workers())
-		r.vertexRec = perfmodel.NewRecorder(r.pool.Workers())
-	}
+	r.mergeSlots = sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes
 	return r
 }
 
-// Close releases the Runner's pool if it owns one.
+// Close releases the Runner's pool if it owns one. Close is idempotent.
 func (r *Runner) Close() {
-	if r.ownPool {
-		r.pool.Close()
-	}
+	r.closeOnce.Do(func() {
+		if r.ownPool {
+			r.pool.Close()
+		}
+	})
 }
 
 // Graph returns the preprocessed graph.
@@ -92,34 +110,91 @@ func (r *Runner) Graph() *Graph { return r.g }
 // Pool returns the worker pool.
 func (r *Runner) Pool() *sched.Pool { return r.pool }
 
-// Props exposes the property lanes (valid after Init or Run).
-func (r *Runner) Props() []uint64 { return r.props }
+// NewContext allocates a fresh ExecContext for this Runner. Callers that
+// drive phases manually (benchmark harnesses) create one explicitly;
+// Run/RunCtx recycle contexts internally.
+func (r *Runner) NewContext() *ExecContext {
+	n := r.g.N
+	ec := &ExecContext{
+		Runner:   r,
+		props:    make([]uint64, n),
+		accum:    make([]uint64, n),
+		front:    frontier.NewDense(n),
+		next:     frontier.NewDense(n),
+		conv:     frontier.NewDense(n),
+		touched:  frontier.NewDense(n),
+		mergeBuf: sched.NewMergeBuffer(r.mergeSlots),
+		ctx:      context.Background(),
+	}
+	if r.opt.Record {
+		ec.edgeRec = perfmodel.NewRecorder(r.pool.Workers())
+		ec.vertexRec = perfmodel.NewRecorder(r.pool.Workers())
+	}
+	return ec
+}
+
+// acquire recycles an ExecContext from the Runner's pool. The props array
+// may have been detached by a previous release (run results hand it to the
+// caller), so it is reallocated on demand.
+func (r *Runner) acquire() *ExecContext {
+	if ec, ok := r.ctxPool.Get().(*ExecContext); ok {
+		if ec.props == nil {
+			ec.props = make([]uint64, r.g.N)
+		}
+		return ec
+	}
+	return r.NewContext()
+}
+
+// release returns an ExecContext to the recycling pool. The caller must
+// have detached any state it handed out (Result.Props).
+func (r *Runner) release(ec *ExecContext) {
+	ec.ctx, ec.done = context.Background(), nil
+	r.ctxPool.Put(ec)
+}
+
+// Props exposes the property lanes (valid after Init or a phase run).
+func (ec *ExecContext) Props() []uint64 { return ec.props }
 
 // Frontier exposes the current frontier.
-func (r *Runner) Frontier() *frontier.Dense { return r.front }
+func (ec *ExecContext) Frontier() *frontier.Dense { return ec.front }
 
 // EdgeRecorder returns the Edge-phase recorder (nil unless Options.Record).
-func (r *Runner) EdgeRecorder() *perfmodel.Recorder { return r.edgeRec }
+func (ec *ExecContext) EdgeRecorder() *perfmodel.Recorder { return ec.edgeRec }
 
 // VertexRecorder returns the Vertex-phase recorder (nil unless
 // Options.Record).
-func (r *Runner) VertexRecorder() *perfmodel.Recorder { return r.vertexRec }
+func (ec *ExecContext) VertexRecorder() *perfmodel.Recorder { return ec.vertexRec }
 
 // Init resets all state for a fresh run of program p.
-func (r *Runner) Init(p apps.Program) {
-	p.InitProps(r.props)
+func (ec *ExecContext) Init(p apps.Program) {
+	p.InitProps(ec.props)
 	id := p.Identity()
-	for i := range r.accum {
-		r.accum[i] = id
+	for i := range ec.accum {
+		ec.accum[i] = id
 	}
-	r.front.Clear()
-	r.next.Clear()
-	r.conv.Clear()
-	p.InitFrontier(r.front)
-	p.InitConverged(r.conv)
-	r.mergeBuf.Reset()
-	r.edgeRec.Reset()
-	r.vertexRec.Reset()
+	ec.front.Clear()
+	ec.next.Clear()
+	ec.conv.Clear()
+	p.InitFrontier(ec.front)
+	p.InitConverged(ec.conv)
+	ec.mergeBuf.Reset()
+	ec.edgeRec.Reset()
+	ec.vertexRec.Reset()
+}
+
+// cancelled reports whether the run's context is done. The check is a
+// non-blocking channel poll, cheap enough to sit on the chunk-claim path.
+func (ec *ExecContext) cancelled() bool {
+	if ec.done == nil {
+		return false
+	}
+	select {
+	case <-ec.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // dispatch hands contiguous chunks of [0, total) to workers, restricted to
@@ -127,11 +202,16 @@ func (r *Runner) Init(p apps.Program) {
 // space). Chunk ids are globally unique and stable for a given (total,
 // chunkSize, topology), so the merge buffer can be preallocated. body
 // receives the chunk range, its global id, the worker id, and the node.
-func (r *Runner) dispatch(part numa.Partition, chunkSize int, rec *perfmodel.Recorder, body func(rg sched.Range, chunkID, tid, node int)) {
-	if r.opt.WorkStealing && r.topo.Nodes == 1 {
+// When the run's context is cancelled, no further chunks are claimed;
+// in-flight chunks complete.
+func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmodel.Recorder, body func(rg sched.Range, chunkID, tid, node int)) {
+	if ec.opt.WorkStealing && ec.topo.Nodes == 1 {
 		_, total := part.Range(0)
-		r.mergeBuf.Grow(sched.NumChunks(total, chunkSize))
-		r.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
+		ec.mergeBuf.Grow(sched.NumChunks(total, chunkSize))
+		ec.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
+			if ec.cancelled() {
+				return
+			}
 			if rec != nil {
 				start := time.Now()
 				body(rg, chunkID, tid, 0)
@@ -160,12 +240,15 @@ func (r *Runner) dispatch(part numa.Partition, chunkSize int, rec *perfmodel.Rec
 	if base == 0 {
 		return
 	}
-	r.mergeBuf.Grow(base)
-	r.pool.Run(func(tid int) {
-		node := r.topo.NodeOf(tid)
+	ec.mergeBuf.Grow(base)
+	ec.pool.Run(func(tid int) {
+		node := ec.topo.NodeOf(tid)
 		st := &states[node]
 		_, hi := part.Range(node)
 		for {
+			if ec.cancelled() {
+				return
+			}
 			local := int(st.next.Add(1)) - 1
 			if local >= st.numChunks {
 				return
@@ -188,7 +271,8 @@ func (r *Runner) dispatch(part numa.Partition, chunkSize int, rec *perfmodel.Rec
 
 // Result reports a completed run.
 type Result struct {
-	// Props holds the final property lanes.
+	// Props holds the final property lanes. The slice is owned by the
+	// caller; it is never aliased by a later run.
 	Props []uint64
 	// Iterations counts Edge+Vertex rounds; PullIterations and
 	// PushIterations split them by selected engine, and SparseIterations
@@ -208,56 +292,84 @@ type Result struct {
 
 // Run executes program p for at most maxIters iterations (frontier-driven
 // programs stop early when the frontier empties) and returns the result.
-// The generic parameter devirtualizes the per-edge program calls.
+// The generic parameter devirtualizes the per-edge program calls. Run is
+// safe to call concurrently on one Runner.
 func Run[P apps.Program](r *Runner, p P, maxIters int) Result {
+	res, _ := RunCtx(context.Background(), r, p, maxIters)
+	return res
+}
+
+// RunCtx is Run with cancellation: the run stops within one scheduler chunk
+// boundary of ctx being cancelled and returns the partial result alongside
+// a non-nil error wrapping ctx.Err(). Props then reflect the last fully
+// applied iteration.
+func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (Result, error) {
+	ec := r.acquire()
+	ec.ctx = ctx
+	ec.done = ctx.Done()
+	res, err := runLoop(ec, p, maxIters)
+	res.Props = ec.props
+	ec.props = nil // ownership passes to the caller
+	r.release(ec)
+	return res, err
+}
+
+// runLoop is the iteration driver shared by Run and RunCtx, executing on a
+// dedicated ExecContext.
+func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error) {
 	start := time.Now()
-	r.Init(p)
+	ec.Init(p)
 	var res Result
 	usesFrontier := p.UsesFrontier()
 	for res.Iterations < maxIters {
-		if usesFrontier && r.front.Empty() {
+		if ec.cancelled() {
 			break
 		}
-		p.PreIteration(r.props)
-		if front, ok := r.selectSparse(p); ok {
+		if usesFrontier && ec.front.Empty() {
+			break
+		}
+		p.PreIteration(ec.props)
+		if front, ok := ec.selectSparse(p); ok {
 			t0 := time.Now()
-			touched := runEdgePushSparse(r, p, front)
+			touched := runEdgePushSparse(ec, p, front)
 			t1 := time.Now()
 			res.EdgeTime += t1.Sub(t0)
-			runVertexSparse(r, p, touched)
+			runVertexSparse(ec, p, touched)
 			res.VertexTime += time.Since(t1)
 			res.PushIterations++
 			res.SparseIterations++
 			res.Iterations++
 			continue
 		}
-		usePull := r.selectPull(p)
+		usePull := ec.selectPull(p)
 		t0 := time.Now()
 		if usePull {
-			RunEdgePull(r, p)
+			RunEdgePull(ec, p)
 			res.PullIterations++
 		} else {
-			RunEdgePush(r, p)
+			RunEdgePush(ec, p)
 			res.PushIterations++
 		}
 		t1 := time.Now()
 		res.EdgeTime += t1.Sub(t0)
-		RunVertex(r, p)
+		RunVertex(ec, p)
 		res.VertexTime += time.Since(t1)
 		res.Iterations++
 	}
-	res.Props = r.props
 	res.Total = time.Since(start)
-	res.EdgeCounters = r.edgeRec.Total()
-	res.VertexCounters = r.vertexRec.Total()
-	res.EdgeProfile = r.edgeRec.Profile()
-	return res
+	res.EdgeCounters = ec.edgeRec.Total()
+	res.VertexCounters = ec.vertexRec.Total()
+	res.EdgeProfile = ec.edgeRec.Profile()
+	if err := ec.ctx.Err(); err != nil {
+		return res, fmt.Errorf("core: run cancelled after %d iterations: %w", res.Iterations, err)
+	}
+	return res, nil
 }
 
 // selectPull implements the hybrid engine choice: pull for frontier-blind
 // programs and for dense frontiers, push for sparse ones (§2).
-func (r *Runner) selectPull(p apps.Program) bool {
-	switch r.opt.Mode {
+func (ec *ExecContext) selectPull(p apps.Program) bool {
+	switch ec.opt.Mode {
 	case EnginePullOnly:
 		return true
 	case EnginePushOnly:
@@ -266,13 +378,13 @@ func (r *Runner) selectPull(p apps.Program) bool {
 	if !p.UsesFrontier() {
 		return true
 	}
-	return r.front.Density() >= r.opt.PullThreshold
+	return ec.front.Density() >= ec.opt.PullThreshold
 }
 
 // RunVertex executes the Vertex phase: apply aggregates, reset accumulators,
 // build the next frontier, and swap it in. Statically scheduled (§5: the
 // work is regular enough that load balancing is not a problem).
-func RunVertex[P apps.Program](r *Runner, p P) {
+func RunVertex[P apps.Program](r *ExecContext, p P) {
 	t0 := time.Now()
 	identity := p.Identity()
 	tracksConv := p.TracksConverged()

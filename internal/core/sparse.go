@@ -27,7 +27,7 @@ const sparseThresholdDivisor = 20
 
 // selectSparse decides whether this iteration should run the sparse path;
 // it returns the frontier's vertex list when so.
-func (r *Runner) selectSparse(p apps.Program) ([]uint32, bool) {
+func (r *ExecContext) selectSparse(p apps.Program) ([]uint32, bool) {
 	if !r.opt.SparseFrontier || !p.UsesFrontier() || r.opt.Mode == EnginePullOnly {
 		return nil, false
 	}
@@ -51,7 +51,7 @@ func (r *Runner) selectSparse(p apps.Program) ([]uint32, bool) {
 // runEdgePushSparse scatters only the frontier's out-edges (vectorized over
 // VSS), collecting the set of touched destinations. It returns the touched
 // list for the sparse Vertex phase.
-func runEdgePushSparse[P apps.Program](r *Runner, p P, front []uint32) []uint32 {
+func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []uint32 {
 	t0 := time.Now()
 	a := r.g.VSS
 	words := a.Words
@@ -67,7 +67,7 @@ func runEdgePushSparse[P apps.Program](r *Runner, p P, front []uint32) []uint32 
 	touchedWords := r.touched.Words()
 
 	chunk := sched.ChunkSize(len(front), sched.DefaultChunks(r.pool.Workers()))
-	r.pool.DynamicFor(len(front), chunk, func(rg sched.Range, _, tid int) {
+	r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, _, tid int) {
 		var c perfmodel.Counters
 		start := time.Now()
 		for i := rg.Lo; i < rg.Hi; i++ {
@@ -113,7 +113,7 @@ func runEdgePushSparse[P apps.Program](r *Runner, p P, front []uint32) []uint32 
 // runVertexSparse applies only the touched destinations and rebuilds the
 // next frontier from them. Untouched vertices hold identity aggregates and
 // cannot change, so skipping them is exact.
-func runVertexSparse[P apps.Program](r *Runner, p P, touched []uint32) {
+func runVertexSparse[P apps.Program](r *ExecContext, p P, touched []uint32) {
 	t0 := time.Now()
 	identity := p.Identity()
 	tracksConv := p.TracksConverged()

@@ -16,7 +16,7 @@ import (
 // transitions, per-chunk merge-buffer slots, no synchronization. Bookkeeping
 // (transition check, destination decode, validity test) amortizes over 8
 // edges instead of 4, at the cost of the extra padding Fig 9 quantifies.
-func edgePullSAWide[P apps.Program](r *Runner, p P) {
+func edgePullSAWide[P apps.Program](r *ExecContext, p P) {
 	a := r.g.VSD8()
 	total := a.NumVectors()
 	if total == 0 {

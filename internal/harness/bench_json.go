@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// BenchResult is one (dataset, application) timing row of a machine-readable
+// benchmark snapshot (see BenchJSON).
+type BenchResult struct {
+	Dataset        string  `json:"dataset"`
+	App            string  `json:"app"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	Iterations     int     `json:"iterations"`
+	TotalNS        int64   `json:"total_ns"`
+	PerIterationNS float64 `json:"per_iteration_ns"`
+	EdgeNS         int64   `json:"edge_ns"`
+	VertexNS       int64   `json:"vertex_ns"`
+}
+
+// BenchSnapshot is the top-level JSON document emitted by BenchJSON — the
+// perf-trajectory baseline checked in as BENCH_<pr>.json.
+type BenchSnapshot struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Workers       int           `json:"workers"`
+	Scale         float64       `json:"scale"`
+	Results       []BenchResult `json:"results"`
+}
+
+// BenchJSON measures PageRank, Connected Components, and BFS on the config's
+// datasets with the paper-default engine and writes one JSON document to w.
+// Timing follows the harness convention: best of Config.Repeats, and
+// per-iteration time is total/iterations (the Fig 11 metric).
+func BenchJSON(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	snap := BenchSnapshot{
+		GeneratedUnix: time.Now().Unix(),
+		Workers:       cfg.Workers,
+		Scale:         cfg.Scale,
+	}
+	for _, d := range cfg.Datasets {
+		g := cfg.DatasetGraph(d)
+		cg := cfg.DatasetCoreGraph(d)
+		r := core.NewRunner(cg, core.Options{Workers: cfg.Workers})
+		type appCase struct {
+			name string
+			run  func() core.Result
+		}
+		cases := []appCase{
+			{"pr", func() core.Result { return core.Run(r, apps.NewPageRank(g), cfg.PRIters) }},
+			{"cc", func() core.Result { return core.Run(r, apps.NewConnComp(), 1<<20) }},
+			{"bfs", func() core.Result { return core.Run(r, apps.NewBFS(0), 1<<20) }},
+		}
+		for _, c := range cases {
+			var res core.Result
+			best := cfg.timeBest(func() { res = c.run() })
+			iters := res.Iterations
+			if iters < 1 {
+				iters = 1
+			}
+			snap.Results = append(snap.Results, BenchResult{
+				Dataset:        string(d.Abbrev()),
+				App:            c.name,
+				Vertices:       g.NumVertices,
+				Edges:          g.NumEdges(),
+				Iterations:     res.Iterations,
+				TotalNS:        best.Nanoseconds(),
+				PerIterationNS: float64(best.Nanoseconds()) / float64(iters),
+				EdgeNS:         res.EdgeTime.Nanoseconds(),
+				VertexNS:       res.VertexTime.Nanoseconds(),
+			})
+		}
+		r.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -64,25 +64,26 @@ func phaseTime(cfg Config, cg *core.Graph, p apps.Program, scalar bool, phase st
 	}
 	r := core.NewRunner(cg, core.Options{Workers: cfg.Workers, Scalar: scalar, Mode: mode})
 	defer r.Close()
-	r.Init(p)
+	ec := r.NewContext()
+	ec.Init(p)
 	reps := cfg.PRIters
 	switch phase {
 	case "pull":
 		return cfg.timeBest(func() {
 			for i := 0; i < reps; i++ {
-				core.RunEdgePull(r, p)
+				core.RunEdgePull(ec, p)
 			}
 		})
 	case "push":
 		return cfg.timeBest(func() {
 			for i := 0; i < reps; i++ {
-				core.RunEdgePush(r, p)
+				core.RunEdgePush(ec, p)
 			}
 		})
 	default: // vertex
 		return cfg.timeBest(func() {
 			for i := 0; i < reps; i++ {
-				core.RunVertex(r, p)
+				core.RunVertex(ec, p)
 			}
 		})
 	}

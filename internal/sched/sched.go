@@ -6,10 +6,20 @@
 // interface, the paper's first contribution: StartChunk / LoopIteration /
 // FinishChunk hooks plus a per-chunk merge buffer that together eliminate
 // all inner-loop synchronization.
+//
+// The pool is a job-queue scheduler: any number of goroutines may submit
+// fork-join jobs concurrently and the pool multiplexes their slots over one
+// worker set. All per-job state (ticket counters, completion counts) lives
+// in the job, so concurrent DynamicFor/SchedulerAwareFor calls never share
+// scheduler state and each preserves its chunk contract — chunk ids, chunk
+// ranges, and therefore merge-buffer layout and results are identical to a
+// solo run.
 package sched
 
 import (
+	"context"
 	"runtime"
+	"sync"
 
 	"sync/atomic"
 )
@@ -18,22 +28,42 @@ import (
 // pthreads pinned one per logical core. Graph phases are microseconds long,
 // so the fork-join barrier is latency-critical: workers spin briefly
 // (yielding to the Go scheduler) before falling back to a channel sleep, so
-// a phase dispatch costs well under a microsecond on a warm pool while an
+// a job dispatch costs well under a microsecond on a warm pool while an
 // idle pool still parks its goroutines. The zero value is not usable; call
 // NewPool.
+//
+// Pool is safe for concurrent use: Run and the loop helpers may be called
+// from any number of goroutines at once, and Close is idempotent. Each
+// submitted job carries its own ticket state; a submitting goroutine helps
+// execute its own job's slots, so progress never depends on a worker being
+// free.
 type Pool struct {
 	workers int
-	// fn is the current task; written by Run before the epoch advance that
-	// publishes it (the atomic establishes the happens-before edge).
-	fn func(tid int)
-	// epoch counts Run invocations; workers watch it for new work.
-	epoch atomic.Uint64
-	// done counts workers that finished the current task.
+	// jobs is a copy-on-write snapshot of the active job list. Workers read
+	// it lock-free; mu serializes the writers (submit and finish).
+	jobs atomic.Pointer[[]*job]
+	mu   sync.Mutex
+	// seq counts job submissions; idle workers watch it for new work.
+	seq atomic.Uint64
+	// sleeping[wid] marks a worker parked on its wake channel.
+	sleeping  []atomic.Bool
+	wake      []chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// job is one fork-join task: slots virtual thread ids, each executed exactly
+// once by whichever executor (pool worker or submitter) claims it. The slot
+// index is the "tid" the body sees, so tid-indexed state is per-job even
+// when several jobs share the physical workers.
+type job struct {
+	fn    func(tid int)
+	slots int64
+	// next is the slot ticket; done counts completed slots.
+	next atomic.Int64
 	done atomic.Int64
-	// sleeping[tid] marks a worker parked on its wake channel.
-	sleeping []atomic.Bool
-	wake     []chan struct{}
-	closed   atomic.Bool
+	// fin is closed by whichever executor completes the last slot.
+	fin chan struct{}
 }
 
 // spinYields is how many scheduler yields a worker performs before parking.
@@ -50,81 +80,160 @@ func NewPool(n int) *Pool {
 		sleeping: make([]atomic.Bool, n),
 		wake:     make([]chan struct{}, n),
 	}
-	for tid := 1; tid < n; tid++ {
-		p.wake[tid] = make(chan struct{}, 1)
-		go p.worker(tid)
+	for wid := 1; wid < n; wid++ {
+		p.wake[wid] = make(chan struct{}, 1)
+		go p.worker(wid)
 	}
 	return p
 }
 
-func (p *Pool) worker(tid int) {
-	last := uint64(0)
-	for {
-		// Wait for a new epoch: spin-yield first, then park.
-		spins := 0
-		for p.epoch.Load() == last {
-			if p.closed.Load() {
-				return
-			}
-			spins++
-			if spins < spinYields {
-				runtime.Gosched()
-				continue
-			}
-			p.sleeping[tid].Store(true)
-			if p.epoch.Load() != last || p.closed.Load() {
-				p.sleeping[tid].Store(false)
-				continue
-			}
-			<-p.wake[tid]
-			p.sleeping[tid].Store(false)
-			spins = 0
-		}
-		last++
-		p.fn(tid)
-		p.done.Add(1)
+// loadJobs returns the current job-list snapshot (nil when idle).
+func (p *Pool) loadJobs() []*job {
+	if jp := p.jobs.Load(); jp != nil {
+		return *jp
 	}
+	return nil
+}
+
+// tryWork scans the active jobs and executes every slot it can claim,
+// reporting whether it executed anything.
+func (p *Pool) tryWork() bool {
+	worked := false
+	for _, j := range p.loadJobs() {
+		for {
+			s := j.next.Add(1) - 1
+			if s >= j.slots {
+				break
+			}
+			worked = true
+			j.fn(int(s))
+			if j.done.Add(1) == j.slots {
+				p.finish(j)
+			}
+		}
+	}
+	return worked
+}
+
+func (p *Pool) worker(wid int) {
+	spins := 0
+	for {
+		if p.closed.Load() {
+			return
+		}
+		seq := p.seq.Load()
+		if p.tryWork() {
+			spins = 0
+			continue
+		}
+		if p.seq.Load() != seq {
+			continue
+		}
+		spins++
+		if spins < spinYields {
+			runtime.Gosched()
+			continue
+		}
+		p.sleeping[wid].Store(true)
+		if p.seq.Load() != seq || p.closed.Load() {
+			p.sleeping[wid].Store(false)
+			spins = 0
+			continue
+		}
+		<-p.wake[wid]
+		p.sleeping[wid].Store(false)
+		spins = 0
+	}
+}
+
+// submit publishes a job and wakes parked workers.
+func (p *Pool) submit(j *job) {
+	p.mu.Lock()
+	old := p.loadJobs()
+	nw := make([]*job, len(old)+1)
+	copy(nw, old)
+	nw[len(old)] = j
+	p.jobs.Store(&nw)
+	p.mu.Unlock()
+	p.seq.Add(1)
+	for wid := 1; wid < p.workers; wid++ {
+		if p.sleeping[wid].Load() {
+			select {
+			case p.wake[wid] <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// finish removes a completed job from the active list and releases its
+// waiter. Called exactly once per job, by whichever executor completed the
+// last slot.
+func (p *Pool) finish(j *job) {
+	p.mu.Lock()
+	old := p.loadJobs()
+	nw := make([]*job, 0, len(old)-1)
+	for _, o := range old {
+		if o != j {
+			nw = append(nw, o)
+		}
+	}
+	p.jobs.Store(&nw)
+	p.mu.Unlock()
+	close(j.fin)
 }
 
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close terminates the worker goroutines. The pool must not be used after.
+// Close terminates the worker goroutines. Close is idempotent; the pool
+// must not be used after the first Close. Jobs already executing complete.
 func (p *Pool) Close() {
-	if p.closed.Swap(true) {
-		return
-	}
-	for tid := 1; tid < p.workers; tid++ {
-		select {
-		case p.wake[tid] <- struct{}{}:
-		default:
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		for wid := 1; wid < p.workers; wid++ {
+			select {
+			case p.wake[wid] <- struct{}{}:
+			default:
+			}
 		}
-	}
+	})
 }
 
-// Run executes fn once on every worker (fn receives the worker id) and
-// waits for all of them — a fork-join barrier. Worker 0 is the caller.
-// Run must not be called concurrently with itself or Close.
+// Run executes fn once for every virtual thread id in [0, Workers()) and
+// waits for all of them — a fork-join barrier. The submitting goroutine
+// helps execute its own job's slots, so a single-worker pool runs inline
+// and a busy pool never deadlocks a submitter. Run may be called from many
+// goroutines concurrently; each call is an independent job and its tids are
+// private to it.
 func (p *Pool) Run(fn func(tid int)) {
 	if p.workers == 1 {
 		fn(0)
 		return
 	}
-	p.fn = fn
-	p.done.Store(0)
-	p.epoch.Add(1)
-	for tid := 1; tid < p.workers; tid++ {
-		if p.sleeping[tid].Load() {
-			select {
-			case p.wake[tid] <- struct{}{}:
-			default:
-			}
+	j := &job{fn: fn, slots: int64(p.workers), fin: make(chan struct{})}
+	p.submit(j)
+	for {
+		s := j.next.Add(1) - 1
+		if s >= j.slots {
+			break
+		}
+		fn(int(s))
+		if j.done.Add(1) == j.slots {
+			p.finish(j)
 		}
 	}
-	fn(0)
-	for p.done.Load() != int64(p.workers-1) {
+	// Wait for slots claimed by workers: spin briefly (phases are
+	// microseconds), then block.
+	for spins := 0; spins < spinYields; spins++ {
+		select {
+		case <-j.fin:
+			return
+		default:
+		}
 		runtime.Gosched()
 	}
+	<-j.fin
 }
 
 // Range is a half-open interval of loop iterations.
@@ -164,15 +273,32 @@ func NumChunks(total, chunkSize int) int {
 // become available (an atomic ticket counter — work assignment is dynamic,
 // the iteration→chunk mapping is static, exactly the constraint §3 places on
 // schedulers so the merge buffer can be preallocated). body runs once per
-// chunk.
+// chunk. The ticket is per-call, so concurrent DynamicFor jobs on one pool
+// are independent.
 func (p *Pool) DynamicFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
+	p.DynamicForCtx(context.Background(), total, chunkSize, body)
+}
+
+// DynamicForCtx is DynamicFor with cancellation at chunk granularity: when
+// ctx is cancelled, no further chunks are claimed, in-flight chunks run to
+// completion, and the error (ctx.Err()) is returned. A nil error means
+// every chunk executed.
+func (p *Pool) DynamicForCtx(ctx context.Context, total, chunkSize int, body func(r Range, chunkID, tid int)) error {
 	numChunks := NumChunks(total, chunkSize)
 	if numChunks == 0 {
-		return
+		return ctx.Err()
 	}
+	done := ctx.Done()
 	var next atomic.Int64
 	p.Run(func(tid int) {
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			id := int(next.Add(1)) - 1
 			if id >= numChunks {
 				return
@@ -185,6 +311,7 @@ func (p *Pool) DynamicFor(total, chunkSize int, body func(r Range, chunkID, tid 
 			body(Range{Lo: lo, Hi: hi}, id, tid)
 		}
 	})
+	return ctx.Err()
 }
 
 // StaticFor divides [0, total) into one contiguous chunk per worker —
@@ -235,7 +362,15 @@ type Hooks[T any] struct {
 // Chunking follows DynamicFor, so consecutive iterations of a chunk execute
 // on one thread and the hooks may keep their state in registers.
 func SchedulerAwareFor[T any](p *Pool, total, chunkSize int, h Hooks[T]) {
-	p.DynamicFor(total, chunkSize, func(r Range, chunkID, tid int) {
+	SchedulerAwareForCtx(context.Background(), p, total, chunkSize, h)
+}
+
+// SchedulerAwareForCtx is SchedulerAwareFor with cancellation at chunk
+// boundaries: chunks that start always run StartChunk/LoopIteration*/
+// FinishChunk to completion (so every claimed chunk's merge slot is saved),
+// but no new chunks are claimed after ctx is cancelled.
+func SchedulerAwareForCtx[T any](ctx context.Context, p *Pool, total, chunkSize int, h Hooks[T]) error {
+	return p.DynamicForCtx(ctx, total, chunkSize, func(r Range, chunkID, tid int) {
 		st := h.StartChunk(r.Lo, tid)
 		for i := r.Lo; i < r.Hi; i++ {
 			st = h.LoopIteration(st, i, tid)
