@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -151,9 +152,13 @@ func TestCLIBenchfig(t *testing.T) {
 	}
 }
 
-func TestCLIGrazelleServe(t *testing.T) {
+// startServe launches `grazelle serve` with extra args and returns the
+// announced base URL plus the running command. Callers own shutdown.
+func startServe(t *testing.T, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
 	bin := filepath.Join(cliBinaries(t), "grazelle")
-	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-d", "C", "-scale", "0.25")
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -162,26 +167,26 @@ func TestCLIGrazelleServe(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// The server prints its resolved address once the listener is up.
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			return strings.TrimSpace(line[i:]), cmd
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("server never announced its address: %v", sc.Err())
+	return "", nil
+}
+
+func TestCLIGrazelleServe(t *testing.T) {
+	base, cmd := startServe(t, "-d", "C", "-scale", "0.25")
 	defer func() {
 		cmd.Process.Kill()
 		cmd.Wait()
 	}()
-
-	// The server prints its resolved address once the listener is up.
-	var base string
-	{
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			line := sc.Text()
-			if i := strings.Index(line, "http://"); i >= 0 {
-				base = strings.TrimSpace(line[i:])
-				break
-			}
-		}
-		if base == "" {
-			t.Fatalf("server never announced its address: %v", sc.Err())
-		}
-	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	postJSON := func(path, body string) (int, map[string]any) {
 		t.Helper()
@@ -241,5 +246,190 @@ func TestCLIGrazelleServe(t *testing.T) {
 	code, m = postJSON("/v1/query", `{"app":"pr","iters":1048576,"timeout_ms":1}`)
 	if code != 504 {
 		t.Errorf("timeout query: status %d body %v, want 504", code, m)
+	}
+}
+
+// serveClient bundles the little JSON helpers the serve tests share.
+type serveClient struct {
+	t    *testing.T
+	base string
+	c    *http.Client
+}
+
+func newServeClient(t *testing.T, base string) *serveClient {
+	return &serveClient{t: t, base: base, c: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (sc *serveClient) do(method, path, body string) (int, map[string]any) {
+	sc.t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, sc.base+path, rd)
+	if err != nil {
+		sc.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sc.c.Do(req)
+	if err != nil {
+		sc.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		sc.t.Fatalf("%s %s: decode: %v", method, path, err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestCLIGrazelleServeStore exercises the store-backed serving surface:
+// snapshot persistence across a restart with bit-identical query results,
+// graph deletion, the stats endpoint, admission-control rejection, and
+// graceful shutdown on SIGTERM.
+func TestCLIGrazelleServeStore(t *testing.T) {
+	dataDir := t.TempDir()
+	base, cmd := startServe(t,
+		"-data-dir", dataDir, "-max-inflight", "1", "-max-queue", "0")
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	sc := newServeClient(t, base)
+
+	// Load two graphs; both must be snapshotted into the data dir.
+	code, m := sc.do("POST", "/v1/graphs", `{"name":"g","dataset":"C","scale":0.25}`)
+	if code != 200 {
+		t.Fatalf("load g: status %d body %v", code, m)
+	}
+	if snap, _ := m["snapshotted"].(bool); !snap {
+		t.Errorf("graph info after add = %v, want snapshotted", m)
+	}
+	if code, m = sc.do("POST", "/v1/graphs", `{"name":"doomed","dataset":"D","scale":0.1}`); code != 200 {
+		t.Fatalf("load doomed: status %d body %v", code, m)
+	}
+
+	// Reference query, carrying per-vertex values for the exactness check.
+	code, ref := sc.do("POST", "/v1/query", `{"graph":"g","app":"pr","iters":8,"values":true}`)
+	if code != 200 {
+		t.Fatalf("pr query: status %d body %v", code, ref)
+	}
+	refValues, ok := ref["values"].([]any)
+	if !ok || len(refValues) == 0 {
+		t.Fatalf("pr query returned no values: %v", ref)
+	}
+
+	// DELETE unregisters and clears the snapshot; 404 afterwards and for
+	// unknown names.
+	if code, m = sc.do("DELETE", "/v1/graphs/doomed", ""); code != 200 {
+		t.Fatalf("delete: status %d body %v", code, m)
+	}
+	if code, _ = sc.do("DELETE", "/v1/graphs/doomed", ""); code != 404 {
+		t.Errorf("double delete: status %d, want 404", code)
+	}
+	if code, _ = sc.do("POST", "/v1/query", `{"graph":"doomed","app":"pr"}`); code != 404 {
+		t.Errorf("query deleted graph: status %d, want 404", code)
+	}
+
+	// Stats reflect the registry and the admission configuration.
+	code, st := sc.do("GET", "/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: status %d body %v", code, st)
+	}
+	if n, _ := st["graphs"].(float64); n != 1 {
+		t.Errorf("stats graphs = %v, want 1", st["graphs"])
+	}
+	if b, _ := st["bytes_resident"].(float64); b <= 0 {
+		t.Errorf("stats bytes_resident = %v, want > 0", st["bytes_resident"])
+	}
+	if mi, _ := st["max_in_flight"].(float64); mi != 1 {
+		t.Errorf("stats max_in_flight = %v, want 1", st["max_in_flight"])
+	}
+
+	// Admission: with one slot and no queue, a long-running query forces
+	// the next one to be refused with 429.
+	long := make(chan int, 1)
+	go func() {
+		code, _ := sc.do("POST", "/v1/query", `{"graph":"g","app":"pr","iters":1048576,"timeout_ms":3000}`)
+		long <- code
+	}()
+	got429 := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !got429 && time.Now().Before(deadline) {
+		code, body := sc.do("POST", "/v1/query", `{"graph":"g","app":"pr","iters":2}`)
+		switch code {
+		case 429:
+			if !strings.Contains(body["error"].(string), "overloaded") {
+				t.Errorf("429 body = %v, want overloaded error", body)
+			}
+			got429 = true
+		case 200:
+			time.Sleep(5 * time.Millisecond) // long query not admitted yet
+		default:
+			t.Fatalf("concurrent query: status %d body %v", code, body)
+		}
+	}
+	if !got429 {
+		t.Error("never observed a 429 while the slot was held")
+	}
+	if code := <-long; code != 200 && code != 504 {
+		t.Errorf("long query: status %d, want 200 or 504", code)
+	}
+	code, st = sc.do("GET", "/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	if rej, _ := st["rejected"].(float64); got429 && rej < 1 {
+		t.Errorf("stats rejected = %v, want >= 1", st["rejected"])
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exit after SIGTERM: %v", err)
+	}
+	killed = true
+
+	// Restart against the same data dir: the graph rehydrates from its
+	// snapshot and serves bit-identical results.
+	base2, cmd2 := startServe(t, "-data-dir", dataDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	sc2 := newServeClient(t, base2)
+
+	code, list := sc2.do("GET", "/v1/graphs", "")
+	if code != 200 {
+		t.Fatalf("list after restart: status %d body %v", code, list)
+	}
+	graphs, _ := list["graphs"].([]any)
+	if len(graphs) != 1 {
+		t.Fatalf("graphs after restart = %v, want just g", list)
+	}
+	info, _ := graphs[0].(map[string]any)
+	if info["name"] != "g" || info["resident"] != false {
+		t.Errorf("graph after restart = %v, want cold g", info)
+	}
+
+	code, got := sc2.do("POST", "/v1/query", `{"graph":"g","app":"pr","iters":8,"values":true}`)
+	if code != 200 {
+		t.Fatalf("pr query after restart: status %d body %v", code, got)
+	}
+	gotValues, _ := got["values"].([]any)
+	if len(gotValues) != len(refValues) {
+		t.Fatalf("values length %d, want %d", len(gotValues), len(refValues))
+	}
+	for i := range refValues {
+		if refValues[i] != gotValues[i] {
+			t.Fatalf("values[%d] = %v, want %v (rehydrated results differ)", i, gotValues[i], refValues[i])
+		}
 	}
 }

@@ -9,44 +9,68 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	grazelle "repro"
 )
 
 // serve mode: `grazelle serve` turns the engine into a small JSON-over-HTTP
-// service — the first traffic-facing surface of the reproduction. One
-// process holds any number of named graphs, each with a shared Engine;
-// queries against one graph run concurrently on one worker pool and honor a
-// per-request timeout at scheduler-chunk granularity.
+// service. All graph state lives in the store subsystem (grazelle.Store):
+// named graphs with refcounted handles (delete/replace never disturbs
+// in-flight queries), snapshot persistence under --data-dir (graphs reload
+// across restarts), a resident-memory budget with LRU eviction, and
+// admission control bounding concurrent queries. The HTTP layer here is a
+// thin protocol adapter: decode, validate, acquire, run, encode.
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness probe
-//	GET  /v1/graphs          list loaded graphs
-//	POST /v1/graphs          load or generate a graph
-//	                         {"name":"t","dataset":"T","scale":1.0} or
-//	                         {"name":"g","path":"/data/graph"} (file pair)
-//	POST /v1/query           run an application
-//	                         {"graph":"t","app":"pr","iters":16,
-//	                          "root":0,"timeout_ms":500,"values":false}
+//	GET    /healthz             liveness probe
+//	GET    /v1/stats            store load: graphs, bytes, admission counters
+//	GET    /v1/graphs           list graphs (resident and cold)
+//	POST   /v1/graphs           load or generate a graph
+//	                            {"name":"t","dataset":"T","scale":1.0} or
+//	                            {"name":"g","path":"/data/graph"} (file pair)
+//	DELETE /v1/graphs/{name}    unregister a graph and delete its snapshot
+//	POST   /v1/graphs/{name}/snapshot   re-persist a graph to --data-dir
+//	POST   /v1/query            run an application
+//	                            {"graph":"t","app":"pr","iters":16,
+//	                             "root":0,"timeout_ms":500,"values":false}
+//
+// Admission rejections return 429 (queue full) with Retry-After; queries on
+// unknown graphs 404; timeouts 504. SIGINT/SIGTERM drain in-flight requests
+// before exiting.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8473", "listen address")
-		threads = fs.Int("n", 0, "total worker threads per engine (0 = GOMAXPROCS)")
-		timeout = fs.Duration("timeout", 30*time.Second, "maximum per-request timeout")
-		dataset = fs.String("d", "", "preload a dataset analog as graph \"default\"")
-		scale   = fs.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
-		input   = fs.String("i", "", "preload a graph file pair as graph \"default\"")
+		addr     = fs.String("addr", "127.0.0.1:8473", "listen address")
+		threads  = fs.Int("n", 0, "worker threads in the shared pool (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "maximum per-request timeout")
+		dataset  = fs.String("d", "", "preload a dataset analog as graph \"default\"")
+		scale    = fs.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
+		input    = fs.String("i", "", "preload a graph file pair as graph \"default\"")
+		dataDir  = fs.String("data-dir", "", "snapshot directory (persist graphs across restarts)")
+		memCap   = fs.Int64("mem-budget", 0, "resident graph memory budget in bytes (0 = unlimited)")
+		inflight = fs.Int("max-inflight", 0, "maximum concurrent queries (0 = unlimited)")
+		maxQueue = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := newServer(grazelle.Options{Workers: *threads}, *timeout)
-	defer srv.close()
+	st, err := grazelle.OpenStore(grazelle.StoreConfig{
+		DataDir:        *dataDir,
+		MemBudgetBytes: *memCap,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *maxQueue,
+		Workers:        *threads,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv := &server{store: st, maxTimeout: *timeout}
 
 	switch {
 	case *dataset != "":
@@ -54,13 +78,17 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv.add("default", g)
+		if err := st.Add("default", g); err != nil {
+			return err
+		}
 	case *input != "":
 		g, err := grazelle.LoadGraphPair(*input)
 		if err != nil {
 			return err
 		}
-		srv.add("default", g)
+		if err := st.Add("default", g); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -71,130 +99,128 @@ func runServe(args []string) error {
 	// port 0 can discover the port.
 	fmt.Printf("grazelle: serving on http://%s\n", ln.Addr())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
-	return hs.Serve(ln)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		fmt.Println("grazelle: shut down")
+		return nil
+	}
 }
 
-// server is the shared state behind the HTTP handlers. The mutex guards the
-// graph registry only; queries run outside it, concurrently, each engine
-// being safe for concurrent use.
+// maxBodyBytes bounds request bodies; graph-load and query requests are a
+// few hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// server adapts HTTP to the store. It holds no graph state of its own.
 type server struct {
-	opt        grazelle.Options
+	store      *grazelle.Store
 	maxTimeout time.Duration
-
-	mu     sync.Mutex
-	graphs map[string]*graphEntry
-}
-
-type graphEntry struct {
-	g *grazelle.Graph
-	e *grazelle.Engine
-}
-
-func newServer(opt grazelle.Options, maxTimeout time.Duration) *server {
-	return &server{opt: opt, maxTimeout: maxTimeout, graphs: make(map[string]*graphEntry)}
-}
-
-func (s *server) add(name string, g *grazelle.Graph) {
-	ent := &graphEntry{g: g, e: grazelle.NewEngine(g, s.opt)}
-	s.mu.Lock()
-	if old, ok := s.graphs[name]; ok {
-		old.e.Close()
-	}
-	s.graphs[name] = ent
-	s.mu.Unlock()
-}
-
-func (s *server) lookup(name string) (*graphEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ent, ok := s.graphs[name]
-	return ent, ok
-}
-
-func (s *server) close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, ent := range s.graphs {
-		ent.e.Close()
-	}
-	s.graphs = make(map[string]*graphEntry)
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/v1/graphs", s.handleGraphs)
-	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return mux
 }
 
-type graphInfo struct {
-	Name              string  `json:"name"`
-	Vertices          int     `json:"vertices"`
-	Edges             int     `json:"edges"`
-	Weighted          bool    `json:"weighted"`
-	PackingEfficiency float64 `json:"packing_efficiency"`
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
-func infoOf(name string, g *grazelle.Graph) graphInfo {
-	return graphInfo{
-		Name:              name,
-		Vertices:          g.NumVertices(),
-		Edges:             g.NumEdges(),
-		Weighted:          g.Weighted(),
-		PackingEfficiency: g.PackingEfficiency(),
+func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.store.List()})
+}
+
+func (s *server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req struct {
+		Name    string  `json:"name"`
+		Dataset string  `json:"dataset"`
+		Scale   float64 `json:"scale"`
+		Path    string  `json:"path"`
 	}
-}
-
-func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		s.mu.Lock()
-		infos := make([]graphInfo, 0, len(s.graphs))
-		for name, ent := range s.graphs {
-			infos = append(infos, infoOf(name, ent.g))
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing graph name"))
+		return
+	}
+	var g *grazelle.Graph
+	var err error
+	switch {
+	case req.Dataset != "":
+		if req.Scale == 0 {
+			req.Scale = 1.0
 		}
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
-	case http.MethodPost:
-		var req struct {
-			Name    string  `json:"name"`
-			Dataset string  `json:"dataset"`
-			Scale   float64 `json:"scale"`
-			Path    string  `json:"path"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if req.Name == "" {
-			writeError(w, http.StatusBadRequest, errors.New("missing graph name"))
-			return
-		}
-		var g *grazelle.Graph
-		var err error
-		switch {
-		case req.Dataset != "":
-			if req.Scale == 0 {
-				req.Scale = 1.0
-			}
-			g, err = grazelle.GenerateDataset(req.Dataset, req.Scale)
-		case req.Path != "":
-			g, err = grazelle.LoadGraphPair(req.Path)
-		default:
-			err = errors.New("one of dataset or path is required")
-		}
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		s.add(req.Name, g)
-		writeJSON(w, http.StatusOK, infoOf(req.Name, g))
+		g, err = grazelle.GenerateDataset(req.Dataset, req.Scale)
+	case req.Path != "":
+		g, err = grazelle.LoadGraphPair(req.Path)
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		err = errors.New("one of dataset or path is required")
 	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Add(req.Name, g); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, info := range s.store.List() {
+		if info.Name == req.Name {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": req.Name})
+}
+
+func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, grazelle.ErrGraphNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *server) handleSnapshotGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Snapshot(name); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, grazelle.ErrGraphNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"snapshotted": name})
 }
 
 // queryResponse is the JSON shape of a /v1/query result. Exactly one of the
@@ -216,10 +242,7 @@ type queryResponse struct {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.WriteHeader(http.StatusMethodNotAllowed)
-		return
-	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req struct {
 		Graph     string `json:"graph"`
 		App       string `json:"app"`
@@ -235,11 +258,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Graph == "" {
 		req.Graph = "default"
 	}
-	ent, ok := s.lookup(req.Graph)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", req.Graph))
-		return
-	}
 	if req.Iters <= 0 {
 		req.Iters = 16
 	}
@@ -252,13 +270,39 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Admission first: a rejected query must not touch graph state. 429
+	// tells well-behaved clients to back off and retry.
+	release, err := s.store.Admit(ctx)
+	if err != nil {
+		if errors.Is(err, grazelle.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			// Context expired while queued.
+			writeError(w, http.StatusGatewayTimeout, err)
+		}
+		return
+	}
+	defer release()
+
+	h, err := s.store.Acquire(req.Graph)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, grazelle.ErrGraphNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	defer h.Close()
+	eng := h.Engine()
+
 	resp := queryResponse{Graph: req.Graph, App: req.App}
 	var stats grazelle.Stats
-	var err error
 	switch req.App {
 	case "pr":
 		var res grazelle.PageRankResult
-		res, err = ent.e.PageRankCtx(ctx, req.Iters)
+		res, err = eng.PageRankCtx(ctx, req.Iters)
 		resp.RankSum = &res.Sum
 		stats = res.Stats
 		if req.Values {
@@ -266,7 +310,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	case "wpr":
 		var res grazelle.PageRankResult
-		res, err = ent.e.WeightedRankCtx(ctx, req.Iters)
+		res, err = eng.WeightedRankCtx(ctx, req.Iters)
 		resp.RankSum = &res.Sum
 		stats = res.Stats
 		if req.Values {
@@ -274,7 +318,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	case "cc":
 		var res grazelle.ComponentsResult
-		res, err = ent.e.ConnectedComponentsCtx(ctx)
+		res, err = eng.ConnectedComponentsCtx(ctx)
 		if res.Components != nil {
 			n := res.NumComponents()
 			resp.Components = &n
@@ -285,7 +329,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	case "bfs":
 		var res grazelle.BFSResult
-		res, err = ent.e.BFSCtx(ctx, req.Root)
+		res, err = eng.BFSCtx(ctx, req.Root)
 		if res.Parents != nil {
 			n := res.Reachable()
 			resp.Reachable = &n
@@ -296,7 +340,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	case "sssp":
 		var res grazelle.SSSPResult
-		res, err = ent.e.SSSPCtx(ctx, req.Root)
+		res, err = eng.SSSPCtx(ctx, req.Root)
 		if res.Dist != nil {
 			n := res.Finite()
 			resp.Reachable = &n

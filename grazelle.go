@@ -184,11 +184,11 @@ type Engine struct {
 	r *core.Runner
 }
 
-// NewEngine creates an engine for g.
-func NewEngine(g *Graph, opt Options) *Engine {
-	workers := opt.Workers
-	copt := core.Options{
-		Workers:        workers,
+// coreOptions maps the facade options onto the engine's, excluding the
+// worker-pool concerns (Workers, Sockets/Topology) that NewEngine and the
+// Store resolve differently.
+func (opt Options) coreOptions() core.Options {
+	return core.Options{
 		ChunkVectors:   opt.ChunkVectors,
 		Variant:        opt.Variant,
 		Scalar:         opt.Scalar,
@@ -196,6 +196,13 @@ func NewEngine(g *Graph, opt Options) *Engine {
 		Record:         opt.Record,
 		SparseFrontier: opt.SparseFrontier,
 	}
+}
+
+// NewEngine creates an engine for g.
+func NewEngine(g *Graph, opt Options) *Engine {
+	workers := opt.Workers
+	copt := opt.coreOptions()
+	copt.Workers = workers
 	if opt.Sockets > 1 {
 		w := workers
 		if w < 1 {

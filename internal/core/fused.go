@@ -14,11 +14,24 @@ type fuse struct {
 	kind     apps.FusedKind
 	scale    []float64
 	weighted bool
+	// ordered marks combine operators whose result depends on evaluation
+	// order — floating-point addition (FusedRankSum) and, conservatively,
+	// any program the engine cannot classify (FusedNone). Kernels that
+	// scatter writes across destinations route ordered contributions
+	// through a fixed-order buffer so results are bit-identical at any
+	// worker count; min-style operators are order- and grouping-independent
+	// and keep the direct CAS path.
+	ordered bool
 }
 
 func fuseFor(p apps.Program, weighted bool) fuse {
 	k, s := apps.KindOf(p)
-	return fuse{kind: k, scale: s, weighted: weighted}
+	return fuse{
+		kind:     k,
+		scale:    s,
+		weighted: weighted,
+		ordered:  k == apps.FusedNone || k == apps.FusedRankSum,
+	}
 }
 
 // step computes Combine(acc, Message(props[n], n, w)) through the fused

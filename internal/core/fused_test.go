@@ -60,16 +60,20 @@ func TestFusedMatchesGenericExactly(t *testing.T) {
 		{"BFS", cg, func() apps.Program { return apps.NewBFS(0) }, 1 << 20},
 		{"SSSP", wcg, func() apps.Program { return apps.NewSSSP(0) }, 1 << 20},
 	}
-	// Traditional pull and push both combine through CAS, so with >1 worker
-	// the floating-point sum order depends on thread interleaving and two
-	// runs may differ in the last ulp; a single worker keeps the
-	// fused-vs-generic comparison exact for those variants. (Scheduler-aware
-	// pull merges in chunk-id order and is deterministic at any width.)
+	// Every variant is deterministic at any worker count: scheduler-aware
+	// pull merges in chunk-id order; traditional pull peels chunk-boundary
+	// destination runs into fixed-order merge slots (interior runs have a
+	// single writer in the destination-sorted layout); push routes
+	// order-sensitive programs through the ordered scatter buffer. So the
+	// fused-vs-generic comparison runs multi-worker everywhere — no 1-worker
+	// pins.
 	opts := []Options{
 		{Workers: 2},
 		{Workers: 2, Scalar: true},
-		{Workers: 1, Variant: PullTraditional},
-		{Workers: 1, Mode: EnginePushOnly},
+		{Workers: 2, Variant: PullTraditional},
+		{Workers: 2, Variant: PullTraditional, Scalar: true},
+		{Workers: 2, Mode: EnginePushOnly},
+		{Workers: 2, Mode: EnginePushOnly, Scalar: true},
 		{Workers: 2, Variant: PullOuterOnly},
 	}
 	for _, c := range cases {

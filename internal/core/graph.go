@@ -9,6 +9,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/csr"
 	"repro/internal/graph"
@@ -37,16 +38,31 @@ type Graph struct {
 	Edges int
 
 	// vsd8 is the 512-bit (8-lane) pull encoding, built lazily on first use
-	// (Options.WideVectors); most runs never need it.
-	vsd8     *vsparse.WideArray
+	// (Options.WideVectors); most runs never need it. It is an atomic
+	// pointer so MemoryBytes can observe it without racing the build.
+	vsd8     atomic.Pointer[vsparse.WideArray]
 	vsd8Once sync.Once
+}
+
+// MemoryBytes returns the heap footprint of every preprocessed
+// representation the engines hold resident — the store's unit of memory
+// accounting. The lazily-built wide encoding is counted only once built.
+func (g *Graph) MemoryBytes() int64 {
+	total := g.CSR.MemoryBytes() + g.CSC.MemoryBytes() +
+		g.VSS.MemoryBytes() + g.VSD.MemoryBytes() +
+		int64(len(g.EdgeDst))*4
+	if w := g.vsd8.Load(); w != nil {
+		total += int64(len(w.Words))*8 + int64(len(w.Weights))*4 +
+			int64(len(w.Index))*8
+	}
+	return total
 }
 
 // VSD8 returns the 8-lane Vector-Sparse pull encoding, building it on first
 // call.
 func (g *Graph) VSD8() *vsparse.WideArray {
-	g.vsd8Once.Do(func() { g.vsd8 = vsparse.FromCSRWide(g.CSC) })
-	return g.vsd8
+	g.vsd8Once.Do(func() { g.vsd8.Store(vsparse.FromCSRWide(g.CSC)) })
+	return g.vsd8.Load()
 }
 
 // BuildGraph preprocesses an edge-list graph into every engine

@@ -120,6 +120,12 @@ type Options struct {
 	// benchmarks measure the trade-off. Applies to the scheduler-aware
 	// vectorized pull kernel only.
 	WideVectors bool
+	// OnRelease, when non-nil, is invoked each time a run's ExecContext is
+	// returned to the Runner's recycling pool — i.e. once per completed (or
+	// cancelled) Run/RunCtx call, after the result has been detached. Layers
+	// above the engine (the graph store's refcounted handles) use it to
+	// observe run completion without wrapping every entry point.
+	OnRelease func()
 	// WorkStealing replaces the ticket-counter chunk scheduler with the
 	// work-stealing scheduler (sched.StealingFor). §3 requires only a
 	// static contiguous iteration→chunk mapping of the scheduler — the

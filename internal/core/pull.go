@@ -185,6 +185,17 @@ func mergeAccum[P apps.Program](r *ExecContext, p P, identity uint64) {
 // write each edge's contribution straight to shared memory — with a CAS
 // (useAtomics) or, for the "Traditional, Nonatomic" reference point of
 // Figs 5 and 8, a racy plain read-modify-write.
+//
+// The Vector-Sparse array is destination-sorted, so only a chunk's first and
+// last destination runs can span a chunk boundary; every interior run has
+// this chunk as its sole writer, making its per-edge shared combine
+// iteration-ordered even without the scheduler-aware interface. The two
+// boundary runs are accumulated thread-locally and routed through
+// merge-buffer slots 2*chunkID and 2*chunkID+1, folded in slot order after
+// the barrier. The result is bit-identical at any worker count — including
+// order-sensitive operators like floating-point addition — while the
+// interior runs keep the per-edge shared write that defines the traditional
+// interface's cost (the Fig 5 AtomicOps/SharedWrites measurement).
 func edgePullTraditional[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 	a := r.g.VSD
 	total := a.NumVectors()
@@ -192,6 +203,7 @@ func edgePullTraditional[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 		return
 	}
 	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	identity := p.Identity()
 	usesFrontier := p.UsesFrontier()
 	tracksConv := p.TracksConverged()
 	skipEqual := p.SkipEqualWrites()
@@ -202,9 +214,79 @@ func edgePullTraditional[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 	fz := fuseFor(p, weighted)
 
 	words := a.Words
+	top := func(vi int) uint32 {
+		base := vi * vec.Lanes
+		return decodeTop4(words[base], words[base+1], words[base+2], words[base+3])
+	}
+	// Two merge slots per chunk (prefix and suffix runs); dispatch itself
+	// only guarantees one.
+	r.mergeBuf.Grow(2 * (sched.NumChunks(total, chunkSize) + r.topo.Nodes))
 	r.dispatch(r.pullPart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
-		for vi := rg.Lo; vi < rg.Hi; vi++ {
+		// [rg.Lo, prefixEnd) is the chunk's share of its first destination
+		// run, [suffixStart, rg.Hi) its share of the last; when the whole
+		// chunk is a single run the suffix takes all of it.
+		lastDst := top(rg.Hi - 1)
+		suffixStart := rg.Hi - 1
+		for suffixStart > rg.Lo && top(suffixStart-1) == lastDst {
+			suffixStart--
+		}
+		firstDst := top(rg.Lo)
+		prefixEnd := rg.Lo
+		for prefixEnd < suffixStart && top(prefixEnd) == firstDst {
+			prefixEnd++
+		}
+		// gather accumulates one boundary run thread-locally.
+		gather := func(lo, hi int, dst uint32) uint64 {
+			acc := identity
+			conv := tracksConv && r.conv.Contains(dst)
+			for vi := lo; vi < hi; vi++ {
+				base := vi * vec.Lanes
+				v0, v1, v2, v3 := words[base], words[base+1], words[base+2], words[base+3]
+				c.VectorsProcessed++
+				mask := signMask4(v0, v1, v2, v3)
+				valid := mask.Count()
+				c.InvalidLanes += uint64(vec.Lanes - valid)
+				if conv {
+					c.FrontierSkips += uint64(valid)
+					continue
+				}
+				neigh := vec.U64x4{v0 & vsparse.VertexMask, v1 & vsparse.VertexMask,
+					v2 & vsparse.VertexMask, v3 & vsparse.VertexMask}
+				if usesFrontier {
+					live := vec.TestBits(frontWords, neigh, mask)
+					c.FrontierSkips += uint64(valid - live.Count())
+					mask = live
+				}
+				if mask == 0 {
+					continue
+				}
+				for lane := 0; lane < vec.Lanes; lane++ {
+					if !mask.Bit(lane) {
+						continue
+					}
+					n := neigh[lane]
+					var w float32
+					if weighted {
+						w = a.Weights[base+lane]
+					}
+					acc = step(p, &fz, props, acc, n, w)
+					c.EdgesProcessed++
+					c.TLSWrites++
+					if rec != nil {
+						if r.propOwner.Owner(uint32(n)) == node {
+							c.LocalAccesses++
+						} else {
+							c.RemoteAccesses++
+						}
+					}
+				}
+			}
+			return acc
+		}
+		r.mergeBuf.Save(2*chunkID, firstDst, gather(rg.Lo, prefixEnd, firstDst))
+		r.mergeBuf.Save(2*chunkID+1, lastDst, gather(suffixStart, rg.Hi, lastDst))
+		for vi := prefixEnd; vi < suffixStart; vi++ {
 			base := vi * vec.Lanes
 			v0, v1, v2, v3 := words[base], words[base+1], words[base+2], words[base+3]
 			dst := decodeTop4(v0, v1, v2, v3)
@@ -253,6 +335,7 @@ func edgePullTraditional[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 		}
 		rec.Record(tid, c)
 	})
+	mergeAccum(r, p, identity)
 }
 
 // casCombine performs one synchronized shared update: load, combine, CAS,
@@ -412,7 +495,11 @@ func edgePullSAScalar[P apps.Program](r *ExecContext, p P) {
 // edgePullTraditionalScalar is the traditional interface on
 // Compressed-Sparse: a parallel loop over edges whose body writes each
 // contribution to shared memory (Listing 2 with the inner for changed to
-// parallel_for), with or without atomics.
+// parallel_for), with or without atomics. Like edgePullTraditional it peels
+// the chunk's first and last destination runs — the only ones that can span
+// a chunk boundary in the destination-sorted edge array — into private
+// merge-buffer slots folded in fixed order, so results are bit-identical at
+// any worker count while interior runs keep the per-edge shared combine.
 func edgePullTraditionalScalar[P apps.Program](r *ExecContext, p P, useAtomics bool) {
 	m := r.g.CSC
 	total := m.NumEdges()
@@ -420,6 +507,7 @@ func edgePullTraditionalScalar[P apps.Program](r *ExecContext, p P, useAtomics b
 		return
 	}
 	chunkSize := r.opt.chunkSizeFor((total+vec.Lanes-1)/vec.Lanes, r.pool.Workers()) * vec.Lanes
+	identity := p.Identity()
 	usesFrontier := p.UsesFrontier()
 	tracksConv := p.TracksConverged()
 	skipEqual := p.SkipEqualWrites()
@@ -430,9 +518,44 @@ func edgePullTraditionalScalar[P apps.Program](r *ExecContext, p P, useAtomics b
 	fz := fuseFor(p, weighted)
 	edgePart := r.edgePartition()
 
+	r.mergeBuf.Grow(2 * (sched.NumChunks(total, chunkSize) + r.topo.Nodes))
 	r.dispatch(edgePart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
-		for i := rg.Lo; i < rg.Hi; i++ {
+		lastDst := edgeDst[rg.Hi-1]
+		suffixStart := rg.Hi - 1
+		for suffixStart > rg.Lo && edgeDst[suffixStart-1] == lastDst {
+			suffixStart--
+		}
+		firstDst := edgeDst[rg.Lo]
+		prefixEnd := rg.Lo
+		for prefixEnd < suffixStart && edgeDst[prefixEnd] == firstDst {
+			prefixEnd++
+		}
+		gather := func(lo, hi int, dst uint32) uint64 {
+			acc := identity
+			if tracksConv && r.conv.Contains(dst) {
+				c.FrontierSkips += uint64(hi - lo)
+				return acc
+			}
+			for i := lo; i < hi; i++ {
+				s := m.Neigh[i]
+				if usesFrontier && !r.front.Contains(s) {
+					c.FrontierSkips++
+					continue
+				}
+				var w float32
+				if weighted {
+					w = m.Weights[i]
+				}
+				acc = step(p, &fz, props, acc, uint64(s), w)
+				c.EdgesProcessed++
+				c.TLSWrites++
+			}
+			return acc
+		}
+		r.mergeBuf.Save(2*chunkID, firstDst, gather(rg.Lo, prefixEnd, firstDst))
+		r.mergeBuf.Save(2*chunkID+1, lastDst, gather(suffixStart, rg.Hi, lastDst))
+		for i := prefixEnd; i < suffixStart; i++ {
 			dst := edgeDst[i]
 			if tracksConv && r.conv.Contains(dst) {
 				c.FrontierSkips++
@@ -457,6 +580,7 @@ func edgePullTraditionalScalar[P apps.Program](r *ExecContext, p P, useAtomics b
 		}
 		rec.Record(tid, c)
 	})
+	mergeAccum(r, p, identity)
 }
 
 // decodeTop4 reassembles the embedded 48-bit top-level vertex id from four

@@ -32,6 +32,13 @@ func RunEdgePush[P apps.Program](r *ExecContext, p P) {
 // property load per source vector, messages computed per lane, but the
 // scatter is a per-lane CAS — there is no atomic-update-scatter instruction
 // (§6.2's explanation for push's flat vectorization response).
+//
+// For order-sensitive combine operators (fuse.ordered) the per-lane CAS
+// would make the floating-point sum depend on thread interleaving, so those
+// programs instead append (destination, message) pairs to the chunk's
+// private scatter-buffer slot, folded in chunk-id order after the barrier —
+// deterministic at any worker count. Min-style operators keep the CAS:
+// their result is interleaving-independent.
 func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 	a := r.g.VSS
 	total := a.NumVectors()
@@ -55,8 +62,15 @@ func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 	// §4 keeps around precisely for frontier checks — locates each active
 	// source's vectors.
 	vertChunk := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
+	if fz.ordered {
+		r.scatterBuf.Grow(sched.NumChunks(r.g.N, vertChunk) + r.topo.Nodes)
+	}
 	r.dispatch(r.vertexPartition(), vertChunk, rec, func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
+		var out []sched.Contribution
+		if fz.ordered {
+			out = r.scatterBuf.Take(chunkID)
+		}
 		for sv := rg.Lo; sv < rg.Hi; sv++ {
 			src := uint32(sv)
 			if usesFrontier && !r.front.Contains(src) {
@@ -86,7 +100,12 @@ func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 					}
 					msg := stepMsg(p, &fz, props, uint64(src), w)
 					c.EdgesProcessed++
-					casCombine(p, &accum[dst], msg, skipEqual, &c)
+					if fz.ordered {
+						out = append(out, sched.Contribution{Dst: dst, Val: msg})
+						c.TLSWrites++
+					} else {
+						casCombine(p, &accum[dst], msg, skipEqual, &c)
+					}
 					if rec != nil {
 						if r.propOwner.Owner(dst) == node {
 							c.LocalAccesses++
@@ -97,12 +116,35 @@ func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 				}
 			}
 		}
+		if fz.ordered {
+			r.scatterBuf.Save(chunkID, out)
+		}
 		rec.Record(tid, c)
 	})
+	if fz.ordered {
+		mergeScatter(r, p)
+	}
+}
+
+// mergeScatter folds the scatter buffer into the shared accumulators in
+// chunk-id order — the push-side analog of mergeAccum, running on one
+// thread after the barrier.
+func mergeScatter[P apps.Program](r *ExecContext, p P) {
+	t0 := time.Now()
+	accum := r.accum
+	n := r.scatterBuf.Merge(func(dst uint32, v uint64) {
+		accum[dst] = p.Combine(accum[dst], v)
+	})
+	if r.edgeRec != nil {
+		r.edgeRec.MergeTime += time.Since(t0)
+		r.edgeRec.Record(0, perfmodel.Counters{MergeOps: uint64(n), SharedWrites: uint64(n)})
+	}
 }
 
 // edgePushScalar is the Compressed-Sparse push kernel: chunked over source
-// vertices, inner loop serial, one CAS per live edge.
+// vertices, inner loop serial, one CAS per live edge — or, for
+// order-sensitive programs, one scatter-buffer append (see
+// edgePushVectorized).
 func edgePushScalar[P apps.Program](r *ExecContext, p P) {
 	m := r.g.CSR
 	usesFrontier := p.UsesFrontier()
@@ -114,8 +156,15 @@ func edgePushScalar[P apps.Program](r *ExecContext, p P) {
 	fz := fuseFor(p, weighted)
 	chunkSize := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
 
+	if fz.ordered {
+		r.scatterBuf.Grow(sched.NumChunks(r.g.N, chunkSize) + r.topo.Nodes)
+	}
 	r.dispatch(r.vertexPartition(), chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
+		var out []sched.Contribution
+		if fz.ordered {
+			out = r.scatterBuf.Take(chunkID)
+		}
 		for v := rg.Lo; v < rg.Hi; v++ {
 			src := uint32(v)
 			if usesFrontier && !r.front.Contains(src) {
@@ -137,9 +186,20 @@ func edgePushScalar[P apps.Program](r *ExecContext, p P) {
 				}
 				msg := stepMsg(p, &fz, props, uint64(src), w)
 				c.EdgesProcessed++
-				casCombine(p, &accum[dst], msg, skipEqual, &c)
+				if fz.ordered {
+					out = append(out, sched.Contribution{Dst: dst, Val: msg})
+					c.TLSWrites++
+				} else {
+					casCombine(p, &accum[dst], msg, skipEqual, &c)
+				}
 			}
+		}
+		if fz.ordered {
+			r.scatterBuf.Save(chunkID, out)
 		}
 		rec.Record(tid, c)
 	})
+	if fz.ordered {
+		mergeScatter(r, p)
+	}
 }

@@ -54,6 +54,10 @@ type ExecContext struct {
 	conv         *frontier.Dense
 	touched      *frontier.Dense
 	mergeBuf     *sched.MergeBuffer
+	// scatterBuf holds the push kernels' ordered (dst, value) contribution
+	// lists for order-sensitive combine operators; grown lazily by the
+	// kernels that use it.
+	scatterBuf *sched.ScatterBuffer
 
 	// edgeRec and vertexRec collect counters when Options.Record is set;
 	// nil otherwise.
@@ -91,7 +95,10 @@ func NewRunner(g *Graph, opt Options) *Runner {
 		maxVectors = g.CSC.NumEdges() // scalar kernels chunk over edges
 	}
 	chunkSize := r.opt.chunkSizeFor(maxVectors, r.pool.Workers())
-	r.mergeSlots = sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes
+	// Two slots per chunk: the scheduler-aware kernels use one (the trailing
+	// partial aggregate), the traditional kernels use a pair (prefix and
+	// suffix boundary runs).
+	r.mergeSlots = 2 * (sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes)
 	return r
 }
 
@@ -116,15 +123,16 @@ func (r *Runner) Pool() *sched.Pool { return r.pool }
 func (r *Runner) NewContext() *ExecContext {
 	n := r.g.N
 	ec := &ExecContext{
-		Runner:   r,
-		props:    make([]uint64, n),
-		accum:    make([]uint64, n),
-		front:    frontier.NewDense(n),
-		next:     frontier.NewDense(n),
-		conv:     frontier.NewDense(n),
-		touched:  frontier.NewDense(n),
-		mergeBuf: sched.NewMergeBuffer(r.mergeSlots),
-		ctx:      context.Background(),
+		Runner:     r,
+		props:      make([]uint64, n),
+		accum:      make([]uint64, n),
+		front:      frontier.NewDense(n),
+		next:       frontier.NewDense(n),
+		conv:       frontier.NewDense(n),
+		touched:    frontier.NewDense(n),
+		mergeBuf:   sched.NewMergeBuffer(r.mergeSlots),
+		scatterBuf: sched.NewScatterBuffer(0),
+		ctx:        context.Background(),
 	}
 	if r.opt.Record {
 		ec.edgeRec = perfmodel.NewRecorder(r.pool.Workers())
@@ -151,6 +159,9 @@ func (r *Runner) acquire() *ExecContext {
 func (r *Runner) release(ec *ExecContext) {
 	ec.ctx, ec.done = context.Background(), nil
 	r.ctxPool.Put(ec)
+	if r.opt.OnRelease != nil {
+		r.opt.OnRelease()
+	}
 }
 
 // Props exposes the property lanes (valid after Init or a phase run).

@@ -67,8 +67,18 @@ func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []ui
 	touchedWords := r.touched.Words()
 
 	chunk := sched.ChunkSize(len(front), sched.DefaultChunks(r.pool.Workers()))
-	r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, _, tid int) {
+	// Order-sensitive programs route contributions through the scatter
+	// buffer for a deterministic fold (see edgePushVectorized); the frontier
+	// list is sorted, so chunk ranges are stable across runs.
+	if fz.ordered {
+		r.scatterBuf.Grow(sched.NumChunks(len(front), chunk))
+	}
+	r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, chunkID, tid int) {
 		var c perfmodel.Counters
+		var out []sched.Contribution
+		if fz.ordered {
+			out = r.scatterBuf.Take(chunkID)
+		}
 		start := time.Now()
 		for i := rg.Lo; i < rg.Hi; i++ {
 			src := front[i]
@@ -94,16 +104,27 @@ func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []ui
 					}
 					msg := stepMsg(p, &fz, props, uint64(src), w)
 					c.EdgesProcessed++
-					casCombine(p, &accum[dst], msg, skipEqual, &c)
+					if fz.ordered {
+						out = append(out, sched.Contribution{Dst: dst, Val: msg})
+						c.TLSWrites++
+					} else {
+						casCombine(p, &accum[dst], msg, skipEqual, &c)
+					}
 					atomic.OrUint64(&touchedWords[dst>>6], 1<<(dst&63))
 				}
 			}
+		}
+		if fz.ordered {
+			r.scatterBuf.Save(chunkID, out)
 		}
 		if rec != nil {
 			rec.Record(tid, c)
 			rec.AddBusy(tid, time.Since(start))
 		}
 	})
+	if fz.ordered {
+		mergeScatter(r, p)
+	}
 	if rec != nil {
 		rec.Wall += time.Since(t0)
 	}

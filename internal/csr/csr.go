@@ -33,6 +33,11 @@ type Matrix struct {
 // NumEdges returns the number of edges stored.
 func (m *Matrix) NumEdges() int { return len(m.Neigh) }
 
+// MemoryBytes returns the heap footprint of the matrix's backing arrays.
+func (m *Matrix) MemoryBytes() int64 {
+	return int64(len(m.Index))*8 + int64(len(m.Neigh))*4 + int64(len(m.Weights))*4
+}
+
 // Degree returns the number of edges grouped under top-level vertex v.
 func (m *Matrix) Degree(v uint32) int {
 	return int(m.Index[v+1] - m.Index[v])

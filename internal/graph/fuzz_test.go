@@ -2,6 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -38,6 +41,107 @@ func FuzzReadBinary(f *testing.F) {
 			t.Fatalf("decoder returned invalid graph: %v", err)
 		}
 	})
+}
+
+// FuzzRoundTripFile drives the file-level snapshot path the graph store
+// depends on: a fuzzed edge list goes through WriteFile → ReadFile and must
+// come back exactly — same vertex count, same edges in the same order, same
+// weights bit for bit.
+func FuzzRoundTripFile(f *testing.F) {
+	f.Add(uint16(8), []byte{0, 0, 1, 0, 7, 7, 0, 3, 9, 1, 1, 2}, true)
+	f.Add(uint16(1), []byte{}, false)
+	f.Add(uint16(300), []byte{1, 44, 0, 9, 200}, false)
+	f.Fuzz(func(t *testing.T, numV uint16, data []byte, weighted bool) {
+		if numV == 0 {
+			numV = 1
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		// Decode the byte string as (src, dst, weight) triples modulo the
+		// vertex count, so every fuzz input yields a valid graph.
+		g := &Graph{NumVertices: int(numV), Weighted: weighted}
+		for i := 0; i+2 < len(data); i += 3 {
+			e := Edge{
+				Src: uint32(data[i]) % uint32(numV),
+				Dst: uint32(data[i+1]) % uint32(numV),
+			}
+			if weighted {
+				e.Weight = float32(data[i+2])/4 + 0.25
+			}
+			g.Edges = append(g.Edges, e)
+		}
+		path := filepath.Join(t.TempDir(), "g.grzg")
+		if err := g.WriteFile(path); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if got.NumVertices != g.NumVertices || got.Weighted != g.Weighted || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip: got %d/%d/%v, want %d/%d/%v",
+				got.NumVertices, got.NumEdges(), got.Weighted,
+				g.NumVertices, g.NumEdges(), g.Weighted)
+		}
+		for i := range g.Edges {
+			if got.Edges[i] != g.Edges[i] {
+				t.Fatalf("edge %d: got %+v, want %+v", i, got.Edges[i], g.Edges[i])
+			}
+		}
+	})
+}
+
+// TestReadFileCorruption damages a valid snapshot file in the ways a crashed
+// or misconfigured deployment would — truncation, a foreign magic number, an
+// unsupported version — and demands a clean error (never a panic) from every
+// one.
+func TestReadFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	g := NewBuilder(16).AddEdge(0, 1).AddEdge(3, 9).AddEdge(15, 2).MustBuild()
+	path := filepath.Join(dir, "ok.grzg")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err != nil {
+		t.Fatalf("valid file must read back: %v", err)
+	}
+
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"header-truncated": valid[:10],
+		"body-truncated":   valid[:len(valid)-5],
+	}
+	badMagic := append([]byte(nil), valid...)
+	copy(badMagic, "NOPE")
+	cases["bad-magic"] = badMagic
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[4:], 999)
+	cases["bad-version"] = badVersion
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[20:], 1<<50) // implausible edge count
+	cases["absurd-header"] = huge
+
+	for name, data := range cases {
+		if _, err := ReadFile(write(name+".grzg", data)); err == nil {
+			t.Errorf("%s: ReadFile accepted corrupt input", name)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.grzg")); err == nil {
+		t.Error("missing file: ReadFile returned no error")
+	}
 }
 
 // FuzzReadEdgeList does the same for the text parser.

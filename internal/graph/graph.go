@@ -33,6 +33,10 @@ type Graph struct {
 // NumEdges returns the number of directed edges.
 func (g *Graph) NumEdges() int { return len(g.Edges) }
 
+// MemoryBytes returns the heap footprint of the edge list (12 bytes per
+// edge: two vertex ids and a weight).
+func (g *Graph) MemoryBytes() int64 { return int64(len(g.Edges)) * 12 }
+
 // Validate checks that every endpoint is within range. The comparison is
 // performed in 64 bits: NumVertices may legitimately be 2^32 when vertex
 // ids span the full uint32 range, which a uint32 cast would truncate to 0.

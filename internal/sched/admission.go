@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is against the typed
+// *OverloadedError an Admission returns when both the in-flight and queue
+// bounds are exhausted. Serving layers map it to a backpressure status
+// (HTTP 429).
+var ErrOverloaded = errors.New("sched: overloaded")
+
+// OverloadedError reports an admission rejection with the observed load at
+// rejection time. It matches ErrOverloaded under errors.Is.
+type OverloadedError struct {
+	// InFlight and Queued are the occupancy observed at rejection.
+	InFlight, Queued int
+	// MaxInFlight and MaxQueue are the configured bounds.
+	MaxInFlight, MaxQueue int
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("sched: overloaded: %d/%d in flight, %d/%d queued",
+		e.InFlight, e.MaxInFlight, e.Queued, e.MaxQueue)
+}
+
+// Is reports that an OverloadedError matches the ErrOverloaded sentinel.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Admission is a two-stage admission controller for query-shaped work: at
+// most MaxInFlight units run concurrently, at most MaxQueue more wait for a
+// slot, and everything beyond that is rejected immediately with a typed
+// *OverloadedError. It is the backpressure companion to Pool's job-count
+// bound (SetMaxActiveJobs): the store admits queries through an Admission
+// and sizes the pool's job cap from the same limit, so work admitted here is
+// exactly the work the pool will accept.
+type Admission struct {
+	maxInFlight, maxQueue int
+	// sem holds one token per in-flight unit.
+	sem chan struct{}
+	// queued counts waiters; rejected counts refusals (monotonic).
+	queued   atomic.Int64
+	rejected atomic.Uint64
+}
+
+// NewAdmission creates a controller admitting maxInFlight concurrent units
+// with a wait queue of maxQueue. maxInFlight < 1 disables limiting (Acquire
+// always succeeds); maxQueue < 0 is treated as 0 (no waiting: reject as soon
+// as the in-flight bound is hit).
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	a := &Admission{maxInFlight: maxInFlight, maxQueue: maxQueue}
+	if maxQueue < 0 {
+		a.maxQueue = 0
+	}
+	if maxInFlight > 0 {
+		a.sem = make(chan struct{}, maxInFlight)
+	}
+	return a
+}
+
+// Acquire admits one unit of work, blocking in the wait queue when the
+// in-flight bound is reached. It returns a release function that must be
+// called exactly once when the unit finishes. Errors: a typed
+// *OverloadedError (matching ErrOverloaded) when the queue is also full, or
+// ctx.Err() when the caller's context ends while queued. A nil *Admission
+// admits everything.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil || a.sem == nil {
+		return func() {}, nil
+	}
+	// Fast path: an in-flight slot is free.
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	// Slow path: join the bounded wait queue, or reject.
+	for {
+		q := a.queued.Load()
+		if q >= int64(a.maxQueue) {
+			a.rejected.Add(1)
+			return nil, &OverloadedError{
+				InFlight:    len(a.sem),
+				Queued:      int(q),
+				MaxInFlight: a.maxInFlight,
+				MaxQueue:    a.maxQueue,
+			}
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) release() { <-a.sem }
+
+// InFlight returns the number of admitted, unreleased units.
+func (a *Admission) InFlight() int {
+	if a == nil || a.sem == nil {
+		return 0
+	}
+	return len(a.sem)
+}
+
+// Queued returns the number of callers waiting for admission.
+func (a *Admission) Queued() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.queued.Load())
+}
+
+// Rejected returns the cumulative count of overload rejections.
+func (a *Admission) Rejected() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.rejected.Load()
+}
+
+// MaxInFlight returns the configured in-flight bound (0 = unlimited).
+func (a *Admission) MaxInFlight() int {
+	if a == nil {
+		return 0
+	}
+	return a.maxInFlight
+}
+
+// MaxQueue returns the configured queue bound.
+func (a *Admission) MaxQueue() int {
+	if a == nil {
+		return 0
+	}
+	return a.maxQueue
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBounds(t *testing.T) {
+	a := NewAdmission(2, 1)
+
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// Third acquire queues; it must complete once a slot is released.
+	acquired := make(chan func(), 1)
+	go func() {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- rel
+	}()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth acquire finds the queue full: typed overload error.
+	_, err = a.Acquire(context.Background())
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v, want *OverloadedError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("error %v does not match ErrOverloaded", err)
+	}
+	if oe.MaxInFlight != 2 || oe.MaxQueue != 1 {
+		t.Errorf("overload error limits = %d/%d, want 2/1", oe.MaxInFlight, oe.MaxQueue)
+	}
+	if a.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", a.Rejected())
+	}
+
+	rel1()
+	rel3 := <-acquired
+	rel2()
+	rel3()
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errc <- err
+	}()
+	for a.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire returned %v, want context.Canceled", err)
+	}
+	if a.Queued() != 0 {
+		t.Errorf("Queued after cancel = %d, want 0", a.Queued())
+	}
+	rel()
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	for _, a := range []*Admission{nil, NewAdmission(0, 0)} {
+		for i := 0; i < 100; i++ {
+			rel, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel()
+		}
+	}
+}
+
+func TestAdmissionConcurrentNeverExceedsBound(t *testing.T) {
+	const maxInFlight = 3
+	a := NewAdmission(maxInFlight, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxInFlight {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, maxInFlight)
+	}
+}
+
+// TestPoolMaxActiveJobs drives more concurrent fork-join jobs at the pool
+// than its job cap and asserts the cap is never exceeded while every job
+// still completes.
+func TestPoolMaxActiveJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const cap = 2
+	p.SetMaxActiveJobs(cap)
+
+	var active, peak, runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started := false
+			p.Run(func(tid int) {
+				if tid == 0 {
+					// Count the job once, via slot 0.
+					n := active.Add(1)
+					for {
+						pk := peak.Load()
+						if n <= pk || peak.CompareAndSwap(pk, n) {
+							break
+						}
+					}
+					started = true
+					time.Sleep(time.Millisecond)
+					active.Add(-1)
+				}
+				runs.Add(1)
+			})
+			if !started {
+				t.Error("job ran without executing slot 0")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 12*4 {
+		t.Errorf("slot executions = %d, want %d", got, 12*4)
+	}
+	if pk := peak.Load(); pk > cap {
+		t.Errorf("peak active jobs %d exceeds cap %d", pk, cap)
+	}
+}
+
+func TestScatterBufferMergeOrder(t *testing.T) {
+	b := NewScatterBuffer(2)
+	b.Grow(3)
+
+	s2 := b.Take(2)
+	s2 = append(s2, Contribution{Dst: 7, Val: 30})
+	b.Save(2, s2)
+	s0 := b.Take(0)
+	s0 = append(s0, Contribution{Dst: 7, Val: 10}, Contribution{Dst: 3, Val: 1})
+	b.Save(0, s0)
+	// Slot 1 left empty.
+
+	var order []Contribution
+	n := b.Merge(func(dst uint32, v uint64) {
+		order = append(order, Contribution{Dst: dst, Val: v})
+	})
+	if n != 3 {
+		t.Fatalf("Merge folded %d contributions, want 3", n)
+	}
+	want := []Contribution{{7, 10}, {3, 1}, {7, 30}}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("merge order[%d] = %v, want %v (chunk-id then append order)", i, order[i], w)
+		}
+	}
+	// Slots are reusable and empty after Merge.
+	if again := b.Merge(func(uint32, uint64) {}); again != 0 {
+		t.Errorf("second Merge folded %d contributions, want 0", again)
+	}
+	if s := b.Take(0); len(s) != 0 || cap(s) < 2 {
+		t.Errorf("slot storage not retained: len=%d cap=%d", len(s), cap(s))
+	}
+}

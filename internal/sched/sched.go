@@ -43,6 +43,13 @@ type Pool struct {
 	// it lock-free; mu serializes the writers (submit and finish).
 	jobs atomic.Pointer[[]*job]
 	mu   sync.Mutex
+	// maxJobs bounds the active job count when positive: submit parks the
+	// submitting goroutine on jobsFree until a slot opens. This is how an
+	// admission limit threads down to job submission — a serving layer caps
+	// concurrent queries and gives the shared pool the same bound, so even a
+	// misbehaving caller cannot pile unbounded jobs onto the worker set.
+	maxJobs  int
+	jobsFree *sync.Cond
 	// seq counts job submissions; idle workers watch it for new work.
 	seq atomic.Uint64
 	// sleeping[wid] marks a worker parked on its wake channel.
@@ -146,9 +153,33 @@ func (p *Pool) worker(wid int) {
 	}
 }
 
+// SetMaxActiveJobs bounds the number of concurrently active jobs; further
+// submissions block until a running job finishes. n < 1 removes the bound.
+// Blocked submissions proceed when the pool is closed (the submitter then
+// executes its own slots inline). Call before the pool is shared.
+func (p *Pool) SetMaxActiveJobs(n int) {
+	p.mu.Lock()
+	p.maxJobs = n
+	if p.jobsFree == nil {
+		p.jobsFree = sync.NewCond(&p.mu)
+	}
+	p.jobsFree.Broadcast()
+	p.mu.Unlock()
+}
+
+// ActiveJobs returns the number of jobs currently published to the workers.
+func (p *Pool) ActiveJobs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.loadJobs())
+}
+
 // submit publishes a job and wakes parked workers.
 func (p *Pool) submit(j *job) {
 	p.mu.Lock()
+	for p.maxJobs > 0 && len(p.loadJobs()) >= p.maxJobs && !p.closed.Load() {
+		p.jobsFree.Wait()
+	}
 	old := p.loadJobs()
 	nw := make([]*job, len(old)+1)
 	copy(nw, old)
@@ -179,6 +210,9 @@ func (p *Pool) finish(j *job) {
 		}
 	}
 	p.jobs.Store(&nw)
+	if p.jobsFree != nil {
+		p.jobsFree.Signal()
+	}
 	p.mu.Unlock()
 	close(j.fin)
 }
@@ -191,6 +225,11 @@ func (p *Pool) Workers() int { return p.workers }
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() {
 		p.closed.Store(true)
+		p.mu.Lock()
+		if p.jobsFree != nil {
+			p.jobsFree.Broadcast()
+		}
+		p.mu.Unlock()
 		for wid := 1; wid < p.workers; wid++ {
 			select {
 			case p.wake[wid] <- struct{}{}:

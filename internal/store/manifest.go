@@ -1,0 +1,108 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// The snapshot layout under DataDir is one binary graph file per registered
+// name plus a manifest describing them:
+//
+//	<data-dir>/
+//	    manifest.json      {"version":1,"graphs":[{"name":...,"file":...},...]}
+//	    <name>.grzg        graph.WriteFile binary format (GRZG v1)
+//
+// Both the manifest and each snapshot are written to a temporary file and
+// renamed into place, so readers never observe a torn file; a crash mid-write
+// leaves at worst a stale *.tmp alongside a consistent previous state.
+
+const (
+	manifestVersion = 1
+	manifestFile    = "manifest.json"
+	snapshotExt     = ".grzg"
+)
+
+// manifest is the on-disk index of persisted graphs.
+type manifest struct {
+	Version int             `json:"version"`
+	Graphs  []manifestEntry `json:"graphs"`
+}
+
+// manifestEntry records one persisted graph. File is relative to the data
+// directory; the metadata lets the store list cold graphs without opening
+// their snapshots.
+type manifestEntry struct {
+	Name     string `json:"name"`
+	File     string `json:"file"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Weighted bool   `json:"weighted"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, manifestFile) }
+
+// loadManifest reads the manifest, treating a missing file as empty.
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// syncManifestLocked rewrites the manifest to match the registry's persisted
+// entries. Callers hold s.mu. A no-op without a data directory.
+func (s *Store) syncManifestLocked() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	m := manifest{Version: manifestVersion}
+	for _, e := range s.graphs {
+		if e.snapshot == "" {
+			continue
+		}
+		m.Graphs = append(m.Graphs, manifestEntry{
+			Name:     e.name,
+			File:     filepath.Base(e.snapshot),
+			Vertices: e.vertices,
+			Edges:    e.edges,
+			Weighted: e.weighted,
+		})
+	}
+	sort.Slice(m.Graphs, func(i, j int) bool { return m.Graphs[i].Name < m.Graphs[j].Name })
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := manifestPath(s.cfg.DataDir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeSnapshot persists g atomically (write-to-temp, rename).
+func writeSnapshot(path string, g *graph.Graph) error {
+	tmp := path + ".tmp"
+	if err := g.WriteFile(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,523 @@
+// Package store owns named graphs end to end for the serving layer: a
+// refcounted registry so a graph can be deleted or replaced while in-flight
+// queries drain gracefully, versioned binary snapshot persistence under a
+// data directory (rehydrated lazily on demand), per-graph memory accounting
+// with a configurable byte budget and LRU eviction of idle graphs, and an
+// admission controller bounding concurrent queries.
+//
+// The store sits between the engine (internal/core) and any serving
+// front-end (cmd/grazelle serve, or the grazelle facade's Store type):
+// lifecycle and capacity live here, protocol adaptation lives above, and
+// kernels below. GPOP and Ligra-class frameworks treat partition/graph
+// lifecycle as a framework layer rather than application code; this package
+// does the same for the Grazelle reproduction.
+//
+// # Handle lifecycle
+//
+// Acquire returns a refcounted Handle pinning one version of a named graph.
+// Delete and Add (replace) retire the current entry immediately — new
+// Acquires no longer see it — but its memory is released only when the last
+// Handle closes, so in-flight queries always finish on the exact graph they
+// started with. Idle entries (refcount zero) with a snapshot on disk may be
+// evicted to stay under the memory budget; they rehydrate transparently on
+// the next Acquire.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"repro/internal/sched"
+)
+
+var (
+	// ErrNotFound reports that no graph is registered under the given name.
+	ErrNotFound = errors.New("store: graph not found")
+	// ErrClosed reports use of a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrOverloaded is the admission controller's rejection sentinel,
+	// re-exported so callers need not import internal/sched. Admit's typed
+	// *sched.OverloadedError matches it under errors.Is.
+	ErrOverloaded = sched.ErrOverloaded
+)
+
+// nameRE constrains graph names to filesystem- and URL-safe tokens. The
+// leading character excludes "." so path tricks ("..", hidden files) cannot
+// be expressed.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidName reports whether name is an acceptable graph name.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Config configures a Store.
+type Config struct {
+	// DataDir is the snapshot directory. Empty disables persistence:
+	// graphs live only in memory and cannot be evicted.
+	DataDir string
+	// MemBudget caps the resident bytes of loaded graphs (soft: entries
+	// pinned by handles or lacking snapshots are never evicted, so the
+	// budget can be exceeded transiently). 0 means unlimited.
+	MemBudget int64
+	// MaxInFlight bounds concurrently admitted queries; MaxQueue bounds
+	// callers waiting for admission beyond that. MaxInFlight 0 disables
+	// admission control. The same bound is threaded down to the shared
+	// scheduler pool's job cap, so admitted work is exactly the work the
+	// pool accepts.
+	MaxInFlight, MaxQueue int
+	// Workers sizes the shared worker pool every graph's runner executes on
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Engine supplies base engine options for every graph's runner. Pool,
+	// Workers, Topology, and OnRelease are managed by the store and
+	// ignored if set.
+	Engine core.Options
+}
+
+// Store is a registry of named, preprocessed graphs. All methods are safe
+// for concurrent use.
+type Store struct {
+	cfg  Config
+	pool *sched.Pool
+	adm  *sched.Admission
+
+	mu        sync.Mutex
+	graphs    map[string]*entry
+	resident  int64
+	clock     uint64
+	evictions uint64
+	runs      uint64
+	closed    bool
+}
+
+// entry is one version of a named graph. Fields below the comment are
+// guarded by Store.mu; rehydration is additionally serialized by load.
+type entry struct {
+	name      string
+	vertices  int
+	edges     int
+	weighted  bool
+	snapshot  string // absolute snapshot path, "" when none
+
+	// load serializes rehydration (single-flight): hold a provisional
+	// refcount before locking it so the entry cannot be evicted under the
+	// loader.
+	load sync.Mutex
+
+	// Guarded by Store.mu.
+	refs     int
+	retired  bool
+	lastUsed uint64
+	runs     uint64
+	bytes    int64 // resident bytes (0 when cold)
+	runner   *core.Runner
+	src      *graph.Graph
+}
+
+// Handle pins one graph version. The runner and source pointers are
+// captured at acquisition, so a Handle keeps working unchanged after the
+// graph is deleted, replaced, or evicted; Close releases the pin (and, for
+// retired entries, the memory once the last handle is gone). Handles are
+// safe for concurrent use; Close is idempotent.
+type Handle struct {
+	s         *Store
+	e         *entry
+	runner    *core.Runner
+	src       *graph.Graph
+	closeOnce sync.Once
+}
+
+// Runner returns the engine runner for this graph version.
+func (h *Handle) Runner() *core.Runner { return h.runner }
+
+// Source returns the graph's edge list.
+func (h *Handle) Source() *graph.Graph { return h.src }
+
+// Name returns the graph's registered name.
+func (h *Handle) Name() string { return h.e.name }
+
+// Close releases the handle's pin.
+func (h *Handle) Close() {
+	h.closeOnce.Do(func() { h.s.release(h.e) })
+}
+
+// Open creates a Store. When cfg.DataDir is set, the snapshot manifest is
+// read and every persisted graph is registered cold — metadata only, loaded
+// lazily on first Acquire.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{cfg: cfg, graphs: make(map[string]*entry)}
+	s.pool = sched.NewPool(cfg.Workers)
+	if cfg.MaxInFlight > 0 {
+		s.pool.SetMaxActiveJobs(cfg.MaxInFlight)
+	}
+	s.adm = sched.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue)
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		m, err := loadManifest(manifestPath(cfg.DataDir))
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		for _, me := range m.Graphs {
+			if !ValidName(me.Name) {
+				s.pool.Close()
+				return nil, fmt.Errorf("store: manifest entry has invalid name %q", me.Name)
+			}
+			s.graphs[me.Name] = &entry{
+				name:     me.Name,
+				vertices: me.Vertices,
+				edges:    me.Edges,
+				weighted: me.Weighted,
+				snapshot: filepath.Join(cfg.DataDir, me.File),
+			}
+		}
+	}
+	return s, nil
+}
+
+// Close marks the store closed and shuts down the shared pool. In-flight
+// runs finish (their submitters execute remaining work inline); callers
+// should drain queries first. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+	return nil
+}
+
+// Admit gates one query through the admission controller, returning a
+// release function to call when the query finishes. When the in-flight and
+// queue bounds are exhausted it returns a typed *sched.OverloadedError
+// matching ErrOverloaded; while queued it honors ctx cancellation.
+func (s *Store) Admit(ctx context.Context) (release func(), err error) {
+	return s.adm.Acquire(ctx)
+}
+
+// runnerOptions derives the per-graph engine options: the store's shared
+// pool, default topology, and a release hook that feeds the LRU clock and
+// run counters each time a run's ExecContext is recycled.
+func (s *Store) runnerOptions(e *entry) core.Options {
+	opt := s.cfg.Engine
+	opt.Pool = s.pool
+	opt.Workers = 0
+	opt.Topology = numa.Topology{}
+	opt.OnRelease = func() {
+		s.mu.Lock()
+		e.lastUsed = s.tick()
+		e.runs++
+		s.runs++
+		s.mu.Unlock()
+	}
+	return opt
+}
+
+// tick advances the LRU clock. Callers hold s.mu.
+func (s *Store) tick() uint64 {
+	s.clock++
+	return s.clock
+}
+
+// Add registers graph g under name, replacing any existing graph: the old
+// entry is retired immediately (its memory is released once the last handle
+// closes) and new Acquires see g. When a data directory is configured the
+// graph is snapshotted before it becomes visible, so a crash never leaves
+// the manifest pointing at a missing file.
+func (s *Store) Add(name string, g *graph.Graph) error {
+	if !ValidName(name) {
+		return fmt.Errorf("store: invalid graph name %q", name)
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	e := &entry{
+		name:     name,
+		vertices: g.NumVertices,
+		edges:    g.NumEdges(),
+		weighted: g.Weighted,
+		src:      g,
+	}
+	cg := core.BuildGraph(g)
+	e.runner = core.NewRunner(cg, s.runnerOptions(e))
+	e.bytes = cg.MemoryBytes() + g.MemoryBytes()
+	if s.cfg.DataDir != "" {
+		path := filepath.Join(s.cfg.DataDir, name+snapshotExt)
+		if err := writeSnapshot(path, g); err != nil {
+			return fmt.Errorf("store: snapshotting %q: %w", name, err)
+		}
+		e.snapshot = path
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if old := s.graphs[name]; old != nil {
+		s.retireLocked(old)
+	}
+	s.graphs[name] = e
+	s.resident += e.bytes
+	e.lastUsed = s.tick()
+	s.ensureBudgetLocked()
+	return s.syncManifestLocked()
+}
+
+// Acquire returns a refcounted handle on the named graph, rehydrating it
+// from its snapshot when cold. Concurrent Acquires of a cold graph load it
+// once (single-flight).
+func (s *Store) Acquire(name string) (*Handle, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e := s.graphs[name]
+	if e == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// The provisional reference keeps the entry from being evicted or
+	// freed while we (or a concurrent loader) rehydrate it.
+	e.refs++
+	e.lastUsed = s.tick()
+	s.mu.Unlock()
+
+	e.load.Lock()
+	if e.runner == nil {
+		g, err := graph.ReadFile(e.snapshot)
+		if err != nil {
+			e.load.Unlock()
+			s.release(e)
+			return nil, fmt.Errorf("store: rehydrating %q: %w", name, err)
+		}
+		cg := core.BuildGraph(g)
+		runner := core.NewRunner(cg, s.runnerOptions(e))
+		bytes := cg.MemoryBytes() + g.MemoryBytes()
+		s.mu.Lock()
+		e.src, e.runner, e.bytes = g, runner, bytes
+		s.resident += bytes
+		s.ensureBudgetLocked()
+		s.mu.Unlock()
+	}
+	h := &Handle{s: s, e: e, runner: e.runner, src: e.src}
+	e.load.Unlock()
+	return h, nil
+}
+
+// Delete unregisters the named graph and removes its snapshot. In-flight
+// handles keep working; memory is released when the last one closes.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e := s.graphs[name]
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.graphs, name)
+	s.retireLocked(e)
+	if e.snapshot != "" {
+		os.Remove(e.snapshot)
+		e.snapshot = ""
+	}
+	return s.syncManifestLocked()
+}
+
+// Snapshot persists the named graph's current version to the data
+// directory immediately (Add already does this; Snapshot re-persists on
+// demand, e.g. after a manifest repair).
+func (s *Store) Snapshot(name string) error {
+	if s.cfg.DataDir == "" {
+		return errors.New("store: no data directory configured")
+	}
+	h, err := s.Acquire(name)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	path := filepath.Join(s.cfg.DataDir, name+snapshotExt)
+	if err := writeSnapshot(path, h.src); err != nil {
+		return fmt.Errorf("store: snapshotting %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur := s.graphs[name]; cur == h.e {
+		cur.snapshot = path
+	}
+	return s.syncManifestLocked()
+}
+
+// retireLocked marks an entry dead to new Acquires and frees it now if
+// idle. Callers hold s.mu.
+func (s *Store) retireLocked(e *entry) {
+	e.retired = true
+	if e.refs == 0 {
+		s.freeLocked(e)
+	}
+}
+
+// release drops one handle reference, freeing a retired entry when the last
+// reference disappears.
+func (s *Store) release(e *entry) {
+	s.mu.Lock()
+	e.refs--
+	e.lastUsed = s.tick()
+	if e.retired && e.refs == 0 {
+		s.freeLocked(e)
+	}
+	s.mu.Unlock()
+}
+
+// freeLocked drops an entry's resident state (runner, source, accounting).
+// For registry entries this is eviction to cold; for retired entries it is
+// the final release. Callers hold s.mu and guarantee refs == 0.
+func (s *Store) freeLocked(e *entry) {
+	if e.runner != nil {
+		e.runner.Close()
+	}
+	s.resident -= e.bytes
+	e.bytes = 0
+	e.runner = nil
+	e.src = nil
+}
+
+// ensureBudgetLocked evicts least-recently-used idle entries until the
+// resident total fits the budget. Entries pinned by handles (including the
+// provisional reference an in-progress Acquire holds), already cold, or
+// lacking any path back from disk are never evicted, so the budget is soft.
+// Callers hold s.mu.
+func (s *Store) ensureBudgetLocked() {
+	if s.cfg.MemBudget <= 0 {
+		return
+	}
+	for s.resident > s.cfg.MemBudget {
+		var victim *entry
+		for _, e := range s.graphs {
+			if e.refs != 0 || e.runner == nil {
+				continue
+			}
+			if e.snapshot == "" && s.cfg.DataDir == "" {
+				continue // nothing to rehydrate from
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if victim.snapshot == "" {
+			// Spill to disk before dropping the only copy.
+			path := filepath.Join(s.cfg.DataDir, victim.name+snapshotExt)
+			if err := writeSnapshot(path, victim.src); err != nil {
+				return
+			}
+			victim.snapshot = path
+			s.syncManifestLocked()
+		}
+		s.freeLocked(victim)
+		s.evictions++
+	}
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Weighted bool   `json:"weighted"`
+	// Resident reports whether the graph is loaded in memory;
+	// MemoryBytes is its resident footprint (0 when cold).
+	Resident    bool  `json:"resident"`
+	MemoryBytes int64 `json:"memory_bytes"`
+	// Snapshotted reports whether a snapshot exists on disk.
+	Snapshotted bool `json:"snapshotted"`
+	// Refs counts open handles; Runs counts completed engine runs on the
+	// current version.
+	Refs int    `json:"refs"`
+	Runs uint64 `json:"runs"`
+}
+
+// List returns every registered graph, sorted by name.
+func (s *Store) List() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, GraphInfo{
+			Name:        e.name,
+			Vertices:    e.vertices,
+			Edges:       e.edges,
+			Weighted:    e.weighted,
+			Resident:    e.runner != nil,
+			MemoryBytes: e.bytes,
+			Snapshotted: e.snapshot != "",
+			Refs:        e.refs,
+			Runs:        e.runs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats summarizes the store's load.
+type Stats struct {
+	// Graphs counts registered names; Resident counts those loaded in
+	// memory, holding BytesResident bytes against MemBudget (0 =
+	// unlimited).
+	Graphs        int   `json:"graphs"`
+	Resident      int   `json:"resident"`
+	BytesResident int64 `json:"bytes_resident"`
+	MemBudget     int64 `json:"mem_budget"`
+	// InFlight and Queued are current admission occupancy against the
+	// configured bounds; Rejected counts overload refusals.
+	InFlight    int    `json:"in_flight"`
+	Queued      int    `json:"queued"`
+	MaxInFlight int    `json:"max_in_flight"`
+	MaxQueue    int    `json:"max_queue"`
+	Rejected    uint64 `json:"rejected"`
+	// Evictions counts budget evictions; Runs counts completed engine runs.
+	Evictions uint64 `json:"evictions"`
+	Runs      uint64 `json:"runs"`
+}
+
+// Stats returns a consistent snapshot of the store's load.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Graphs:        len(s.graphs),
+		BytesResident: s.resident,
+		MemBudget:     s.cfg.MemBudget,
+		InFlight:      s.adm.InFlight(),
+		Queued:        s.adm.Queued(),
+		MaxInFlight:   s.adm.MaxInFlight(),
+		MaxQueue:      s.adm.MaxQueue(),
+		Rejected:      s.adm.Rejected(),
+		Evictions:     s.evictions,
+		Runs:          s.runs,
+	}
+	for _, e := range s.graphs {
+		if e.runner != nil {
+			st.Resident++
+		}
+	}
+	return st
+}

@@ -66,6 +66,11 @@ type Array struct {
 // NumVectors returns the number of 4-lane vectors.
 func (a *Array) NumVectors() int { return len(a.Words) / vec.Lanes }
 
+// MemoryBytes returns the heap footprint of the array's backing storage.
+func (a *Array) MemoryBytes() int64 {
+	return int64(len(a.Words))*8 + int64(len(a.Weights))*4 + int64(len(a.Index))*8
+}
+
 // Vector loads vector i as a register value.
 func (a *Array) Vector(i int) vec.U64x4 { return vec.Load(a.Words, i*vec.Lanes) }
 

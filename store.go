@@ -1,0 +1,152 @@
+package grazelle
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// This file re-exports the graph store subsystem (internal/store) through
+// the facade: a registry of named graphs with refcounted handles, snapshot
+// persistence, a memory budget with LRU eviction, and admission control —
+// the state behind `grazelle serve`.
+
+// Store lifecycle and capacity errors. ErrOverloaded matches the typed
+// admission error Store.Admit returns under errors.Is.
+var (
+	ErrGraphNotFound = store.ErrNotFound
+	ErrStoreClosed   = store.ErrClosed
+	ErrOverloaded    = store.ErrOverloaded
+)
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// DataDir is the snapshot directory; graphs added to the store are
+	// persisted there and reload lazily when the store is reopened. Empty
+	// disables persistence.
+	DataDir string
+	// MemBudgetBytes soft-caps resident graph memory: idle graphs beyond
+	// the budget are evicted (least recently used first) and rehydrate from
+	// their snapshots on demand. 0 means unlimited.
+	MemBudgetBytes int64
+	// MaxInFlight bounds concurrently admitted queries and the worker
+	// pool's concurrent jobs; MaxQueue bounds callers waiting beyond that.
+	// 0 disables admission control.
+	MaxInFlight, MaxQueue int
+	// Workers sizes the one worker pool all graphs share (0 = GOMAXPROCS).
+	Workers int
+	// Options supplies engine options for every graph's runner. Workers and
+	// Sockets are ignored: the store's shared pool runs a single-node
+	// topology.
+	Options Options
+}
+
+// Store is a registry of named graphs sharing one worker pool. All methods
+// are safe for concurrent use; see internal/store for the lifecycle
+// contract (handles pin graph versions across delete/replace/eviction).
+type Store struct {
+	s *store.Store
+}
+
+// OpenStore opens a Store, registering any graphs persisted under
+// cfg.DataDir (cold — loaded on first Acquire).
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	s, err := store.Open(store.Config{
+		DataDir:     cfg.DataDir,
+		MemBudget:   cfg.MemBudgetBytes,
+		MaxInFlight: cfg.MaxInFlight,
+		MaxQueue:    cfg.MaxQueue,
+		Workers:     cfg.Workers,
+		Engine:      cfg.Options.coreOptions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// Close shuts the store down. Drain queries first; Close is idempotent.
+func (s *Store) Close() error { return s.s.Close() }
+
+// Add registers g under name, replacing any existing graph of that name;
+// queries holding handles on the old version drain undisturbed. With a data
+// directory configured the graph is snapshotted before it becomes visible.
+func (s *Store) Add(name string, g *Graph) error { return s.s.Add(name, g.src) }
+
+// AddFromFile loads a binary graph file (see Graph.Save / cmd/gengraph)
+// directly into the store.
+func (s *Store) AddFromFile(name, path string) error {
+	g, err := graph.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return s.s.Add(name, g)
+}
+
+// Delete unregisters the named graph and removes its snapshot; in-flight
+// handles drain undisturbed.
+func (s *Store) Delete(name string) error { return s.s.Delete(name) }
+
+// Snapshot re-persists the named graph to the data directory on demand.
+func (s *Store) Snapshot(name string) error { return s.s.Snapshot(name) }
+
+// StoreGraphInfo describes one registered graph.
+type StoreGraphInfo = store.GraphInfo
+
+// List returns every registered graph, sorted by name.
+func (s *Store) List() []StoreGraphInfo { return s.s.List() }
+
+// StoreStats summarizes store load: graphs registered/resident, bytes
+// against budget, and admission occupancy.
+type StoreStats = store.Stats
+
+// Stats returns a consistent snapshot of store load.
+func (s *Store) Stats() StoreStats { return s.s.Stats() }
+
+// Admit gates one query through the admission controller; call the returned
+// release when the query finishes. Overload returns an error matching
+// ErrOverloaded; while queued, ctx cancellation is honored.
+func (s *Store) Admit(ctx context.Context) (release func(), err error) {
+	return s.s.Admit(ctx)
+}
+
+// StoreHandle pins one version of a named graph and exposes an Engine bound
+// to it. The handle (and its engine) keeps working after the graph is
+// deleted, replaced, or evicted; Close releases the pin. Do not call the
+// engine's Close — the store owns the worker pool.
+type StoreHandle struct {
+	h *store.Handle
+	e *Engine
+}
+
+// Acquire returns a handle on the named graph, rehydrating it from its
+// snapshot when cold.
+func (s *Store) Acquire(name string) (*StoreHandle, error) {
+	h, err := s.s.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreHandle{h: h, e: engineFor(h)}, nil
+}
+
+// engineFor adapts a store handle into a facade Engine sharing the store's
+// pool and the handle's preprocessed graph.
+func engineFor(h *store.Handle) *Engine {
+	return &Engine{
+		g: &Graph{src: h.Source(), core: h.Runner().Graph()},
+		r: h.Runner(),
+	}
+}
+
+// Engine returns the engine bound to this graph version.
+func (h *StoreHandle) Engine() *Engine { return h.e }
+
+// Graph returns the pinned graph.
+func (h *StoreHandle) Graph() *Graph { return h.e.g }
+
+// Name returns the graph's registered name.
+func (h *StoreHandle) Name() string { return h.h.Name() }
+
+// Close releases the handle's pin. Idempotent.
+func (h *StoreHandle) Close() { h.h.Close() }
