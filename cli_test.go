@@ -156,9 +156,19 @@ func TestCLIBenchfig(t *testing.T) {
 // announced base URL plus the running command. Callers own shutdown.
 func startServe(t *testing.T, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
+	return startServeEnv(t, nil, extra...)
+}
+
+// startServeEnv is startServe with extra environment entries appended — the
+// chaos tests arm failpoints in the child via GRAZELLE_FAILPOINTS.
+func startServeEnv(t *testing.T, env []string, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
 	bin := filepath.Join(cliBinaries(t), "grazelle")
 	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
 	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -431,5 +441,169 @@ func TestCLIGrazelleServeStore(t *testing.T) {
 		if refValues[i] != gotValues[i] {
 			t.Fatalf("values[%d] = %v, want %v (rehydrated results differ)", i, gotValues[i], refValues[i])
 		}
+	}
+}
+
+// postJSONRaw is a goroutine-safe query helper for the chaos tests: unlike
+// serveClient it reports failures as values instead of calling t.Fatal, so it
+// can run from spawned goroutines.
+func postJSONRaw(client *http.Client, url, body string) (int, map[string]any, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, m, nil
+}
+
+// TestCLIGrazelleServeChaosPanic is the acceptance chaos drill: with a
+// failpoint armed to panic inside exactly one engine chunk, N concurrent
+// queries must yield exactly one contained 500 while the other N-1 return
+// bit-identical results, and the server must keep serving afterwards —
+// liveness probe green, follow-up query healthy, no leaked admission slots.
+func TestCLIGrazelleServeChaosPanic(t *testing.T) {
+	base, cmd := startServeEnv(t,
+		[]string{"GRAZELLE_FAILPOINTS=core/chunk=panic*1"},
+		"-d", "C", "-scale", "0.25")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	const n = 6
+	const query = `{"app":"pr","iters":8,"values":true}`
+	type result struct {
+		code int
+		body map[string]any
+		err  error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			code, m, err := postJSONRaw(client, base+"/v1/query", query)
+			results <- result{code, m, err}
+		}()
+	}
+
+	var fails, oks int
+	var failBody map[string]any
+	var survivors [][]any
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("concurrent query: %v (server died?)", r.err)
+		}
+		switch r.code {
+		case 500:
+			fails++
+			failBody = r.body
+		case 200:
+			oks++
+			vals, ok := r.body["values"].([]any)
+			if !ok || len(vals) == 0 {
+				t.Fatalf("surviving query returned no values: %v", r.body)
+			}
+			survivors = append(survivors, vals)
+		default:
+			t.Fatalf("concurrent query: status %d body %v, want 200 or 500", r.code, r.body)
+		}
+	}
+	if fails != 1 || oks != n-1 {
+		t.Fatalf("got %d failed / %d ok queries, want exactly 1 / %d", fails, oks, n-1)
+	}
+	if msg, _ := failBody["error"].(string); !strings.Contains(msg, "panic") {
+		t.Errorf("500 body = %v, want a contained-panic error", failBody)
+	}
+	for i := 1; i < len(survivors); i++ {
+		if len(survivors[i]) != len(survivors[0]) {
+			t.Fatalf("survivor %d has %d values, survivor 0 has %d", i, len(survivors[i]), len(survivors[0]))
+		}
+		for j := range survivors[i] {
+			if survivors[i][j] != survivors[0][j] {
+				t.Fatalf("survivors disagree at vertex %d: %v vs %v", j, survivors[i][j], survivors[0][j])
+			}
+		}
+	}
+
+	// The panic was contained: the process is alive, a fresh query works (the
+	// failpoint's one shot is spent) and matches the survivors bit for bit.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz after panic: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	code, after, err := postJSONRaw(client, base+"/v1/query", query)
+	if err != nil || code != 200 {
+		t.Fatalf("query after panic: status %d err %v body %v", code, err, after)
+	}
+	afterVals, _ := after["values"].([]any)
+	if len(afterVals) != len(survivors[0]) {
+		t.Fatalf("post-panic values length %d, want %d", len(afterVals), len(survivors[0]))
+	}
+	for j := range afterVals {
+		if afterVals[j] != survivors[0][j] {
+			t.Fatalf("post-panic values[%d] = %v, want %v", j, afterVals[j], survivors[0][j])
+		}
+	}
+
+	// No admission slot leaked across the contained failure.
+	sc := newServeClient(t, base)
+	codeSt, st := sc.do("GET", "/v1/stats", "")
+	if codeSt != 200 {
+		t.Fatalf("stats: status %d", codeSt)
+	}
+	if inf, _ := st["in_flight"].(float64); inf != 0 {
+		t.Errorf("stats in_flight = %v after chaos run, want 0", st["in_flight"])
+	}
+	if q, _ := st["queued"].(float64); q != 0 {
+		t.Errorf("stats queued = %v after chaos run, want 0", st["queued"])
+	}
+}
+
+// TestCLIGrazelleServeHandlerPanicReleasesSlot arms the serve/handler
+// failpoint — a panic raised after admission but before the query runs — and
+// verifies the recovery middleware turns it into a 500 while the deferred
+// release still frees the only admission slot: with max-inflight 1 and no
+// queue, the very next query would 429 forever if the slot leaked.
+func TestCLIGrazelleServeHandlerPanicReleasesSlot(t *testing.T) {
+	base, cmd := startServeEnv(t,
+		[]string{"GRAZELLE_FAILPOINTS=serve/handler=panic*1"},
+		"-d", "C", "-scale", "0.25", "-max-inflight", "1", "-max-queue", "0")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := newServeClient(t, base)
+
+	code, body := sc.do("POST", "/v1/query", `{"app":"pr","iters":2}`)
+	if code != 500 {
+		t.Fatalf("panicking handler: status %d body %v, want 500", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "panic") {
+		t.Errorf("500 body = %v, want panic message", body)
+	}
+
+	// Readiness is still green (a contained handler panic is not degradation)
+	// and the slot came back: the next query is admitted and succeeds.
+	if resp, err := sc.c.Get(base + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz after handler panic: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	code, body = sc.do("POST", "/v1/query", `{"app":"pr","iters":2}`)
+	if code != 200 {
+		t.Fatalf("query after handler panic: status %d body %v (admission slot leaked?)", code, body)
+	}
+	codeSt, st := sc.do("GET", "/v1/stats", "")
+	if codeSt != 200 {
+		t.Fatalf("stats: status %d", codeSt)
+	}
+	if inf, _ := st["in_flight"].(float64); inf != 0 {
+		t.Errorf("stats in_flight = %v, want 0", st["in_flight"])
 	}
 }

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	grazelle "repro"
+	"repro/internal/fault"
 )
 
 // serve mode: `grazelle serve` turns the engine into a small JSON-over-HTTP
@@ -27,6 +29,7 @@ import (
 // Endpoints:
 //
 //	GET    /healthz             liveness probe
+//	GET    /readyz              readiness: store open, rehydration not wedged
 //	GET    /v1/stats            store load: graphs, bytes, admission counters
 //	GET    /v1/graphs           list graphs (resident and cold)
 //	POST   /v1/graphs           load or generate a graph
@@ -39,8 +42,11 @@ import (
 //	                             "root":0,"timeout_ms":500,"values":false}
 //
 // Admission rejections return 429 (queue full) with Retry-After; queries on
-// unknown graphs 404; timeouts 504. SIGINT/SIGTERM drain in-flight requests
-// before exiting.
+// unknown graphs 404; unloadable graph payloads 422; a degraded store
+// (rehydration failing, shutting down) or a watchdog-killed run 503;
+// timeouts 504; a contained panic 500 — the server itself stays up (every
+// handler runs under a recovery wrapper). SIGINT/SIGTERM drain in-flight
+// requests before exiting.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
 	var (
@@ -52,8 +58,10 @@ func runServe(args []string) error {
 		input    = fs.String("i", "", "preload a graph file pair as graph \"default\"")
 		dataDir  = fs.String("data-dir", "", "snapshot directory (persist graphs across restarts)")
 		memCap   = fs.Int64("mem-budget", 0, "resident graph memory budget in bytes (0 = unlimited)")
-		inflight = fs.Int("max-inflight", 0, "maximum concurrent queries (0 = unlimited)")
-		maxQueue = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
+		inflight  = fs.Int("max-inflight", 0, "maximum concurrent queries (0 = unlimited)")
+		maxQueue  = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
+		softLimit = fs.Duration("soft-limit", 0, "watchdog soft run limit: slower queries are counted in /v1/stats (0 = off)")
+		hardLimit = fs.Duration("hard-limit", 0, "watchdog hard run limit: slower queries are cancelled with 503 (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +73,8 @@ func runServe(args []string) error {
 		MaxInFlight:    *inflight,
 		MaxQueue:       *maxQueue,
 		Workers:        *threads,
+		SoftRunLimit:   *softLimit,
+		HardRunLimit:   *hardLimit,
 	})
 	if err != nil {
 		return err
@@ -129,18 +139,48 @@ type server struct {
 	maxTimeout time.Duration
 }
 
-func (s *server) mux() *http.ServeMux {
+func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	return mux
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware contains handler panics: the failing request gets a 500
+// JSON error, the process and every other connection stay up, and the
+// handler's own defers (admission release, handle close) have already run
+// during unwinding. Without it net/http kills the connection mid-response
+// and a panic in pre-handler state could leak slots.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				fmt.Fprintf(os.Stderr, "grazelle: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReady is the readiness probe: 200 while the store is open and
+// healthy, 503 once it is closed or rehydration is wedged. Liveness
+// (/healthz) stays 200 either way — a degraded instance should be drained,
+// not restarted.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Ready(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Write([]byte("ok\n"))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -178,14 +218,21 @@ func (s *server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	case req.Path != "":
 		g, err = grazelle.LoadGraphPair(req.Path)
 	default:
-		err = errors.New("one of dataset or path is required")
+		writeError(w, http.StatusBadRequest, errors.New("one of dataset or path is required"))
+		return
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// The request was well-formed but the named payload cannot be turned
+		// into a graph (unknown dataset, unreadable or corrupt file).
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	if err := s.store.Add(req.Name, g); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, grazelle.ErrStoreClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	for _, info := range s.store.List() {
@@ -285,17 +332,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Fault-injection site for chaos tests: a panic here exercises the
+	// recovery middleware with an admission slot held.
+	if err := fault.Inject("serve/handler"); err != nil {
+		panic(err)
+	}
+
 	h, err := s.store.Acquire(req.Graph)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, grazelle.ErrGraphNotFound) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
+		writeError(w, acquireStatus(err), err)
 		return
 	}
 	defer h.Close()
 	eng := h.Engine()
+
+	// Watchdog tracking: a run past -hard-limit is cancelled through ctx.
+	ctx, done := s.store.TrackRun(ctx)
+	defer done()
 
 	resp := queryResponse{Graph: req.Graph, App: req.App}
 	var stats grazelle.Stats
@@ -354,11 +407,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusGatewayTimeout
-		}
-		writeError(w, status, err)
+		writeError(w, runStatus(ctx, err), err)
 		return
 	}
 	resp.Iterations = stats.Iterations
@@ -366,6 +415,43 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.PushIters = stats.PushIterations
 	resp.ElapsedMS = stats.Total.Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// acquireStatus maps a Store.Acquire failure to an HTTP status: unknown
+// name 404; store shutting down or snapshot data failing (quarantined
+// corruption, exhausted rehydration retries) 503 so load balancers route
+// away; anything else 500.
+func acquireStatus(err error) int {
+	switch {
+	case errors.Is(err, grazelle.ErrGraphNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, grazelle.ErrStoreClosed):
+		return http.StatusServiceUnavailable
+	default:
+		var ce *grazelle.CorruptSnapshotError
+		var re *grazelle.RehydrateError
+		if errors.As(err, &ce) || errors.As(err, &re) {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusInternalServerError
+	}
+}
+
+// runStatus maps a failed engine run to an HTTP status: a watchdog kill 503
+// (the server chose to stop the run — retrying elsewhere may help), a client
+// deadline 504, a contained panic 500, anything else 400.
+func runStatus(ctx context.Context, err error) int {
+	if errors.Is(context.Cause(ctx), grazelle.ErrWatchdogKilled) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	var pe *grazelle.PanicError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -168,6 +168,10 @@ type Options struct {
 	// the paper, §5): small frontiers are processed as vertex lists,
 	// skipping whole-array scans. Off by default for paper fidelity.
 	SparseFrontier bool
+	// MaxRunTime, when positive, bounds each run's wall-clock time: a run
+	// past the limit stops within one scheduler chunk and returns its
+	// partial result with an error wrapping context.DeadlineExceeded.
+	MaxRunTime time.Duration
 }
 
 // Engine executes graph applications on one Graph. Engines hold a worker
@@ -195,6 +199,7 @@ func (opt Options) coreOptions() core.Options {
 		Mode:           opt.Mode,
 		Record:         opt.Record,
 		SparseFrontier: opt.SparseFrontier,
+		MaxRunTime:     opt.MaxRunTime,
 	}
 }
 

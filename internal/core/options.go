@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/numa"
 	"repro/internal/sched"
@@ -120,6 +121,11 @@ type Options struct {
 	// benchmarks measure the trade-off. Applies to the scheduler-aware
 	// vectorized pull kernel only.
 	WideVectors bool
+	// MaxRunTime, when positive, bounds each Run/RunCtx call's wall-clock
+	// time: RunCtx derives a deadline context so a runaway run stops within
+	// one scheduler chunk of the limit and returns its partial result with an
+	// error wrapping context.DeadlineExceeded.
+	MaxRunTime time.Duration
 	// OnRelease, when non-nil, is invoked each time a run's ExecContext is
 	// returned to the Runner's recycling pool — i.e. once per completed (or
 	// cancelled) Run/RunCtx call, after the result has been detached. Layers

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/fault"
 	"repro/internal/frontier"
 	"repro/internal/numa"
 	"repro/internal/perfmodel"
@@ -67,6 +68,12 @@ type ExecContext struct {
 	// poll done so cancellation takes effect within one chunk boundary.
 	ctx  context.Context
 	done <-chan struct{}
+
+	// runErr holds the first panic captured inside this run's chunks. A
+	// non-nil value aborts the run at the next chunk boundary (aborted), and
+	// runLoop surfaces it as a typed error; the pool, the Runner, and every
+	// concurrent sibling run are unaffected.
+	runErr atomic.Pointer[sched.PanicError]
 }
 
 // NewRunner creates a Runner for graph g.
@@ -158,6 +165,7 @@ func (r *Runner) acquire() *ExecContext {
 // have detached any state it handed out (Result.Props).
 func (r *Runner) release(ec *ExecContext) {
 	ec.ctx, ec.done = context.Background(), nil
+	ec.runErr.Store(nil)
 	r.ctxPool.Put(ec)
 	if r.opt.OnRelease != nil {
 		r.opt.OnRelease()
@@ -190,6 +198,10 @@ func (ec *ExecContext) Init(p apps.Program) {
 	p.InitFrontier(ec.front)
 	p.InitConverged(ec.conv)
 	ec.mergeBuf.Reset()
+	// Drain any scatter contributions a previous aborted run left behind so
+	// they cannot fold into this run's accumulators. (After a completed run
+	// the slots are already empty, so this is free.)
+	ec.scatterBuf.Merge(func(uint32, uint64) {})
 	ec.edgeRec.Reset()
 	ec.vertexRec.Reset()
 }
@@ -208,6 +220,32 @@ func (ec *ExecContext) cancelled() bool {
 	}
 }
 
+// aborted reports whether the run should stop claiming chunks — either its
+// context ended or a chunk panicked.
+func (ec *ExecContext) aborted() bool {
+	return ec.runErr.Load() != nil || ec.cancelled()
+}
+
+// guard is the deferred recover for phase chunk bodies: the first panic is
+// recorded (with stack) and the run aborts at the next chunk boundary, while
+// the worker, the pool, and sibling runs continue.
+func (ec *ExecContext) guard() {
+	if r := recover(); r != nil {
+		ec.runErr.CompareAndSwap(nil, sched.NewPanicError(r))
+	}
+}
+
+// runChunk executes one phase chunk under guard. The core/chunk failpoint
+// sits here so fault-injection tests can make exactly one chunk of one run
+// blow up.
+func (ec *ExecContext) runChunk(body func(rg sched.Range, chunkID, tid, node int), rg sched.Range, chunkID, tid, node int) {
+	defer ec.guard()
+	if err := fault.Inject("core/chunk"); err != nil {
+		panic(err)
+	}
+	body(rg, chunkID, tid, node)
+}
+
 // dispatch hands contiguous chunks of [0, total) to workers, restricted to
 // each worker's simulated NUMA node partition (part must partition the same
 // space). Chunk ids are globally unique and stable for a given (total,
@@ -220,15 +258,15 @@ func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmod
 		_, total := part.Range(0)
 		ec.mergeBuf.Grow(sched.NumChunks(total, chunkSize))
 		ec.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
-			if ec.cancelled() {
+			if ec.aborted() {
 				return
 			}
 			if rec != nil {
 				start := time.Now()
-				body(rg, chunkID, tid, 0)
+				ec.runChunk(body, rg, chunkID, tid, 0)
 				rec.AddBusy(tid, time.Since(start))
 			} else {
-				body(rg, chunkID, tid, 0)
+				ec.runChunk(body, rg, chunkID, tid, 0)
 			}
 		})
 		return
@@ -257,7 +295,7 @@ func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmod
 		st := &states[node]
 		_, hi := part.Range(node)
 		for {
-			if ec.cancelled() {
+			if ec.aborted() {
 				return
 			}
 			local := int(st.next.Add(1)) - 1
@@ -271,10 +309,10 @@ func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmod
 			}
 			if rec != nil {
 				start := time.Now()
-				body(sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
+				ec.runChunk(body, sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
 				rec.AddBusy(tid, time.Since(start))
 			} else {
-				body(sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
+				ec.runChunk(body, sched.Range{Lo: lo, Hi: end}, st.chunkBase+local, tid, node)
 			}
 		}
 	})
@@ -310,15 +348,35 @@ func Run[P apps.Program](r *Runner, p P, maxIters int) Result {
 	return res
 }
 
-// RunCtx is Run with cancellation: the run stops within one scheduler chunk
-// boundary of ctx being cancelled and returns the partial result alongside
-// a non-nil error wrapping ctx.Err(). Props then reflect the last fully
+// RunCtx is Run with cancellation and fault containment: the run stops
+// within one scheduler chunk boundary of ctx being cancelled (including an
+// Options.MaxRunTime deadline) and returns the partial result alongside a
+// non-nil error wrapping ctx.Err(). A panic anywhere in the run — a chunk
+// body, a program callback, the iteration driver — is captured as a
+// *sched.PanicError wrapped in the returned error; the Runner, its pool, and
+// concurrent sibling runs stay healthy. Props then reflect the last fully
 // applied iteration.
-func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (Result, error) {
+func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (res Result, err error) {
+	if r.opt.MaxRunTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opt.MaxRunTime)
+		defer cancel()
+	}
 	ec := r.acquire()
 	ec.ctx = ctx
 	ec.done = ctx.Done()
-	res, err := runLoop(ec, p, maxIters)
+	func() {
+		// Last-resort containment for panics outside guarded chunks (program
+		// callbacks on the driver goroutine, frontier bookkeeping, or a
+		// *PanicError rethrown by a void pool wrapper).
+		defer func() {
+			if rec := recover(); rec != nil {
+				pe := sched.NewPanicError(rec)
+				err = fmt.Errorf("core: run panicked after %d iterations: %w", res.Iterations, pe)
+			}
+		}()
+		res, err = runLoop(ec, p, maxIters)
+	}()
 	res.Props = ec.props
 	ec.props = nil // ownership passes to the caller
 	r.release(ec)
@@ -333,7 +391,7 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 	var res Result
 	usesFrontier := p.UsesFrontier()
 	for res.Iterations < maxIters {
-		if ec.cancelled() {
+		if ec.aborted() {
 			break
 		}
 		if usesFrontier && ec.front.Empty() {
@@ -371,6 +429,9 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 	res.EdgeCounters = ec.edgeRec.Total()
 	res.VertexCounters = ec.vertexRec.Total()
 	res.EdgeProfile = ec.edgeRec.Profile()
+	if pe := ec.runErr.Load(); pe != nil {
+		return res, fmt.Errorf("core: run aborted after %d iterations: %w", res.Iterations, pe)
+	}
 	if err := ec.ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: run cancelled after %d iterations: %w", res.Iterations, err)
 	}
@@ -403,6 +464,10 @@ func RunVertex[P apps.Program](r *ExecContext, p P) {
 	convWords := r.conv.Words()
 	r.next.Clear()
 	r.pool.StaticFor(r.g.N, func(rg sched.Range, tid int) {
+		if r.aborted() {
+			return
+		}
+		defer r.guard()
 		var c perfmodel.Counters
 		start := time.Now()
 		apply := func(v int) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -73,7 +74,7 @@ func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []ui
 	if fz.ordered {
 		r.scatterBuf.Grow(sched.NumChunks(len(front), chunk))
 	}
-	r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, chunkID, tid int) {
+	err := r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, chunkID, tid int) {
 		var c perfmodel.Counters
 		var out []sched.Contribution
 		if fz.ordered {
@@ -122,6 +123,13 @@ func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []ui
 			rec.AddBusy(tid, time.Since(start))
 		}
 	})
+	// A chunk panic surfaces here as a *sched.PanicError (the pool contains
+	// it); record it so the run aborts. Context errors are already observed
+	// by the iteration driver through aborted().
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		r.runErr.CompareAndSwap(nil, pe)
+	}
 	if fz.ordered {
 		mergeScatter(r, p)
 	}
@@ -142,6 +150,10 @@ func runVertexSparse[P apps.Program](r *ExecContext, p P, touched []uint32) {
 	nextWords := r.next.Words()
 	convWords := r.conv.Words()
 	r.pool.StaticFor(len(touched), func(rg sched.Range, tid int) {
+		if r.aborted() {
+			return
+		}
+		defer r.guard()
 		var c perfmodel.Counters
 		start := time.Now()
 		for i := rg.Lo; i < rg.Hi; i++ {

@@ -1,0 +1,52 @@
+//go:build grazelle_nofault
+
+// Build with -tags grazelle_nofault to compile every failpoint site to a
+// true no-op: Inject is an empty inlinable function, so not even the
+// disarmed atomic load remains in production binaries.
+package fault
+
+import "errors"
+
+// ErrInjected is the sentinel wrapped by injected errors in fault-enabled
+// builds; nothing produces it here.
+var ErrInjected = errors.New("fault: injected error")
+
+// EnvVar is the environment variable consulted in fault-enabled builds;
+// ignored here.
+const EnvVar = "GRAZELLE_FAILPOINTS"
+
+// Mode is what an armed failpoint does when evaluated.
+type Mode uint8
+
+// Modes (inert in this build).
+const (
+	ModeOff Mode = iota
+	ModeError
+	ModePanic
+	ModeDelay
+)
+
+// Available reports whether failpoints are compiled into this build.
+func Available() bool { return false }
+
+// Inject is a no-op in this build.
+func Inject(name string) error { return nil }
+
+// Enable reports that failpoints are compiled out.
+func Enable(name, spec string) (disarm func(), err error) {
+	return nil, errors.New("fault: failpoints compiled out (grazelle_nofault)")
+}
+
+// EnableFromSpec reports that failpoints are compiled out.
+func EnableFromSpec(list string) error {
+	return errors.New("fault: failpoints compiled out (grazelle_nofault)")
+}
+
+// Disable is a no-op in this build.
+func Disable(name string) {}
+
+// Reset is a no-op in this build.
+func Reset() {}
+
+// Hits always reports zero in this build.
+func Hits(name string) uint64 { return 0 }

@@ -3,12 +3,20 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 )
+
+// ErrCorrupt is the sentinel wrapped by every deserialization failure that
+// indicates damaged data rather than a transient I/O problem: bad magic,
+// unsupported version, an implausible header, truncation mid-stream, or a
+// structurally invalid graph. Retrying a read that failed this way cannot
+// succeed; callers (the store's rehydration path) quarantine instead.
+var ErrCorrupt = errors.New("graph: corrupt data")
 
 // Binary format ("GRZG"), little-endian:
 //
@@ -77,19 +85,22 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var head [28]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+		}
 		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
 	if string(head[:4]) != magic {
-		return nil, fmt.Errorf("graph: bad magic %q", head[:4])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:4])
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
-		return nil, fmt.Errorf("graph: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	flags := binary.LittleEndian.Uint32(head[8:])
 	numV := binary.LittleEndian.Uint64(head[12:])
 	numE := binary.LittleEndian.Uint64(head[20:])
 	if numV > 1<<40 || numE > 1<<48 {
-		return nil, fmt.Errorf("graph: implausible header (%d vertices, %d edges)", numV, numE)
+		return nil, fmt.Errorf("%w: implausible header (%d vertices, %d edges)", ErrCorrupt, numV, numE)
 	}
 	g := &Graph{
 		NumVertices: int(numV),
@@ -112,6 +123,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	var rec [12]byte
 	for i := uint64(0); i < numE; i++ {
 		if _, err := io.ReadFull(br, rec[:recLen]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("%w: truncated at edge %d of %d", ErrCorrupt, i, numE)
+			}
 			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
 		}
 		e := Edge{
@@ -124,7 +138,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		g.Edges = append(g.Edges, e)
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return g, nil
 }

@@ -210,3 +210,120 @@ func TestScatterBufferMergeOrder(t *testing.T) {
 		t.Errorf("slot storage not retained: len=%d cap=%d", len(s), cap(s))
 	}
 }
+
+// TestAdmissionChurnExactAccounting hammers an Admission with 1000 mixed
+// runs — successes, panics (recovered by the pool), and cancellations while
+// queued — and verifies the slot accounting is exact afterwards: nothing in
+// flight, nothing queued, and the full capacity immediately re-admittable.
+func TestAdmissionChurnExactAccounting(t *testing.T) {
+	const (
+		maxInFlight = 4
+		maxQueue    = 8
+		total       = 1000
+	)
+	a := NewAdmission(maxInFlight, maxQueue)
+	p := NewPool(4)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	var succeeded, panicked, cancelled, rejected atomic.Int64
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if i%5 == 4 {
+				// Cancel shortly after (possibly while) queueing.
+				go func() {
+					time.Sleep(time.Duration(i%3) * 50 * time.Microsecond)
+					cancel()
+				}()
+			}
+			release, err := a.Acquire(ctx)
+			if err != nil {
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					rejected.Add(1)
+				case errors.Is(err, context.Canceled):
+					cancelled.Add(1)
+				default:
+					t.Errorf("Acquire: unexpected error %v", err)
+				}
+				return
+			}
+			defer release()
+			err = p.DynamicForCtx(ctx, 64, 8, func(r Range, chunkID, tid int) {
+				if i%7 == 3 && chunkID == 2 {
+					panic("churn")
+				}
+			})
+			var pe *PanicError
+			switch {
+			case errors.As(err, &pe):
+				panicked.Add(1)
+			case err == nil:
+				succeeded.Add(1)
+			case errors.Is(err, context.Canceled):
+				cancelled.Add(1)
+			default:
+				t.Errorf("run: unexpected error %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := succeeded.Load() + panicked.Load() + cancelled.Load() + rejected.Load(); got != total {
+		t.Errorf("outcomes sum to %d, want %d", got, total)
+	}
+	if succeeded.Load() == 0 || panicked.Load() == 0 {
+		t.Errorf("degenerate mix: %d succeeded, %d panicked, %d cancelled, %d rejected",
+			succeeded.Load(), panicked.Load(), cancelled.Load(), rejected.Load())
+	}
+	if n := a.InFlight(); n != 0 {
+		t.Errorf("InFlight = %d after churn, want 0", n)
+	}
+	if n := a.Queued(); n != 0 {
+		t.Errorf("Queued = %d after churn, want 0", n)
+	}
+	if uint64(rejected.Load()) > a.Rejected() {
+		t.Errorf("observed %d rejections but counter says %d", rejected.Load(), a.Rejected())
+	}
+	// Full capacity must be re-admittable without blocking.
+	releases := make([]func(), 0, maxInFlight)
+	for i := 0; i < maxInFlight; i++ {
+		release, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d not re-admittable after churn: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if n := a.InFlight(); n != 0 {
+		t.Errorf("InFlight = %d after refill/release, want 0", n)
+	}
+}
+
+// TestAdmissionQueueFullTypedError asserts the rejection error carries the
+// observed occupancy and matches the sentinel.
+func TestAdmissionQueueFullTypedError(t *testing.T) {
+	a := NewAdmission(1, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = a.Acquire(context.Background())
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Acquire = %v, want *OverloadedError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Error("OverloadedError does not match ErrOverloaded")
+	}
+	if oe.MaxInFlight != 1 || oe.MaxQueue != 0 || oe.InFlight != 1 {
+		t.Errorf("occupancy in error = %+v", oe)
+	}
+}

@@ -1,0 +1,34 @@
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic captured inside a pool job, converted into an error
+// so one misbehaving run fails alone: the worker goroutines, the pool's job
+// accounting, and every sibling job continue unharmed. Value is the original
+// panic value and Stack the stack of the panicking executor at capture time
+// (which still includes the frames below the panic site, because capture
+// happens in a deferred recover on the same goroutine).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// NewPanicError captures the current goroutine's stack around a recovered
+// panic value. Call it only from inside a deferred recover. If the value is
+// already a *PanicError (a lower layer captured it first), it is returned
+// unchanged so the original stack survives rethrow chains.
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Error formats the panic value; the stack is available separately so log
+// lines stay single-line unless the caller opts in.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job panicked: %v", e.Value)
+}

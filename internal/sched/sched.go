@@ -18,10 +18,13 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Pool is a fixed set of worker goroutines, the stand-in for Grazelle's
@@ -52,6 +55,9 @@ type Pool struct {
 	jobsFree *sync.Cond
 	// seq counts job submissions; idle workers watch it for new work.
 	seq atomic.Uint64
+	// panics counts recovered job-body panics (slot- and chunk-level), for
+	// health reporting.
+	panics atomic.Uint64
 	// sleeping[wid] marks a worker parked on its wake channel.
 	sleeping  []atomic.Bool
 	wake      []chan struct{}
@@ -69,6 +75,9 @@ type job struct {
 	// next is the slot ticket; done counts completed slots.
 	next atomic.Int64
 	done atomic.Int64
+	// panicked holds the first panic any slot raised; the job still runs its
+	// barrier to completion and the pool stays healthy, but Run reports it.
+	panicked atomic.Pointer[PanicError]
 	// fin is closed by whichever executor completes the last slot.
 	fin chan struct{}
 }
@@ -113,13 +122,29 @@ func (p *Pool) tryWork() bool {
 				break
 			}
 			worked = true
-			j.fn(int(s))
-			if j.done.Add(1) == j.slots {
-				p.finish(j)
-			}
+			p.runSlot(j, s)
 		}
 	}
 	return worked
+}
+
+// runSlot executes one claimed slot under a recover barrier: a panicking job
+// body is converted into the job's PanicError instead of killing the
+// executor (a pool worker goroutine, or a submitter helping out). The
+// completion accounting lives in the deferred block so a panicked slot still
+// counts toward the barrier — the job always finishes and waiters never
+// hang.
+func (p *Pool) runSlot(j *job, s int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked.CompareAndSwap(nil, NewPanicError(r))
+			p.panics.Add(1)
+		}
+		if j.done.Add(1) == j.slots {
+			p.finish(j)
+		}
+	}()
+	j.fn(int(s))
 }
 
 func (p *Pool) worker(wid int) {
@@ -220,6 +245,11 @@ func (p *Pool) finish(j *job) {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// Panics returns the cumulative count of job-body panics the pool has
+// recovered. A nonzero value means some runs failed, never that the pool is
+// unhealthy — recovered panics leave the workers running.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }
+
 // Close terminates the worker goroutines. Close is idempotent; the pool
 // must not be used after the first Close. Jobs already executing complete.
 func (p *Pool) Close() {
@@ -245,10 +275,27 @@ func (p *Pool) Close() {
 // and a busy pool never deadlocks a submitter. Run may be called from many
 // goroutines concurrently; each call is an independent job and its tids are
 // private to it.
-func (p *Pool) Run(fn func(tid int)) {
+//
+// A panic in fn is contained to this job: every slot still reaches the
+// barrier, sibling jobs and the worker goroutines are untouched, and Run
+// returns the first panic as a *PanicError. A nil return means every slot
+// ran to completion.
+func (p *Pool) Run(fn func(tid int)) error {
 	if p.workers == 1 {
-		fn(0)
-		return
+		var pe *PanicError
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					pe = NewPanicError(r)
+					p.panics.Add(1)
+				}
+			}()
+			fn(0)
+		}()
+		if pe != nil {
+			return pe
+		}
+		return nil
 	}
 	j := &job{fn: fn, slots: int64(p.workers), fin: make(chan struct{})}
 	p.submit(j)
@@ -257,22 +304,30 @@ func (p *Pool) Run(fn func(tid int)) {
 		if s >= j.slots {
 			break
 		}
-		fn(int(s))
-		if j.done.Add(1) == j.slots {
-			p.finish(j)
-		}
+		p.runSlot(j, s)
 	}
 	// Wait for slots claimed by workers: spin briefly (phases are
 	// microseconds), then block.
 	for spins := 0; spins < spinYields; spins++ {
 		select {
 		case <-j.fin:
-			return
+			return j.err()
 		default:
 		}
 		runtime.Gosched()
 	}
 	<-j.fin
+	return j.err()
+}
+
+// err converts a finished job's panic record into Run's return value. The
+// explicit nil check avoids wrapping a typed nil pointer in the error
+// interface.
+func (j *job) err() error {
+	if pe := j.panicked.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // Range is a half-open interval of loop iterations.
@@ -314,13 +369,20 @@ func NumChunks(total, chunkSize int) int {
 // schedulers so the merge buffer can be preallocated). body runs once per
 // chunk. The ticket is per-call, so concurrent DynamicFor jobs on one pool
 // are independent.
+//
+// A panic in body is contained by the pool (workers and sibling jobs
+// survive) and rethrown on the calling goroutine as a *PanicError; callers
+// that want it as a value use DynamicForCtx.
 func (p *Pool) DynamicFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
-	p.DynamicForCtx(context.Background(), total, chunkSize, body)
+	Rethrow(p.DynamicForCtx(context.Background(), total, chunkSize, body))
 }
 
-// DynamicForCtx is DynamicFor with cancellation at chunk granularity: when
-// ctx is cancelled, no further chunks are claimed, in-flight chunks run to
-// completion, and the error (ctx.Err()) is returned. A nil error means
+// DynamicForCtx is DynamicFor with cancellation and panic containment at
+// chunk granularity: when ctx is cancelled, no further chunks are claimed,
+// in-flight chunks run to completion, and the error (ctx.Err()) is
+// returned. When a chunk body panics, the panic is captured as a
+// *PanicError, no executor claims further chunks (fail fast — the loop's
+// output is already lost), and the error is returned. A nil error means
 // every chunk executed.
 func (p *Pool) DynamicForCtx(ctx context.Context, total, chunkSize int, body func(r Range, chunkID, tid int)) error {
 	numChunks := NumChunks(total, chunkSize)
@@ -329,8 +391,12 @@ func (p *Pool) DynamicForCtx(ctx context.Context, total, chunkSize int, body fun
 	}
 	done := ctx.Done()
 	var next atomic.Int64
-	p.Run(func(tid int) {
+	var panicked atomic.Pointer[PanicError]
+	err := p.Run(func(tid int) {
 		for {
+			if panicked.Load() != nil {
+				return
+			}
 			if done != nil {
 				select {
 				case <-done:
@@ -347,21 +413,57 @@ func (p *Pool) DynamicForCtx(ctx context.Context, total, chunkSize int, body fun
 			if hi > total {
 				hi = total
 			}
-			body(Range{Lo: lo, Hi: hi}, id, tid)
+			p.runChunk(&panicked, body, Range{Lo: lo, Hi: hi}, id, tid)
 		}
 	})
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
+	if err != nil {
+		return err
+	}
 	return ctx.Err()
+}
+
+// runChunk executes one chunk under a recover barrier, recording the first
+// panic in the loop's shared slot. Containing the panic here (rather than
+// letting it unwind to the slot barrier in runSlot) keeps the executor's
+// claim loop alive for sibling jobs' work and lets the loop fail fast.
+func (p *Pool) runChunk(panicked *atomic.Pointer[PanicError], body func(r Range, chunkID, tid int), rg Range, chunkID, tid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, NewPanicError(r))
+			p.panics.Add(1)
+		}
+	}()
+	if err := fault.Inject("sched/chunk"); err != nil {
+		panic(err)
+	}
+	body(rg, chunkID, tid)
+}
+
+// Rethrow re-raises a *PanicError returned by an error-reporting loop on
+// the current goroutine — how the fire-and-forget loop variants (DynamicFor,
+// StaticFor, ...) preserve their historical contract that a body panic is
+// visible at the call site rather than silently swallowed. Non-panic errors
+// (and nil) pass through untouched.
+func Rethrow(err error) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
 }
 
 // StaticFor divides [0, total) into one contiguous chunk per worker —
 // Grazelle's Vertex-phase scheduler, where work is regular enough that load
-// balancing is not a problem.
+// balancing is not a problem. A panic in body fails only this loop (the
+// pool survives) and is rethrown on the calling goroutine as a *PanicError.
 func (p *Pool) StaticFor(total int, body func(r Range, tid int)) {
 	if total == 0 {
 		return
 	}
 	per := (total + p.workers - 1) / p.workers
-	p.Run(func(tid int) {
+	Rethrow(p.Run(func(tid int) {
 		lo := tid * per
 		if lo >= total {
 			return
@@ -371,7 +473,7 @@ func (p *Pool) StaticFor(total int, body func(r Range, tid int)) {
 			hi = total
 		}
 		body(Range{Lo: lo, Hi: hi}, tid)
-	})
+	}))
 }
 
 // ParallelFor is the traditional interface (Cilk Plus / OpenMP style): the
@@ -399,9 +501,10 @@ type Hooks[T any] struct {
 
 // SchedulerAwareFor runs the scheduler-aware loop over [0, total) on pool p.
 // Chunking follows DynamicFor, so consecutive iterations of a chunk execute
-// on one thread and the hooks may keep their state in registers.
+// on one thread and the hooks may keep their state in registers. A panic in
+// a hook fails only this loop and is rethrown on the calling goroutine.
 func SchedulerAwareFor[T any](p *Pool, total, chunkSize int, h Hooks[T]) {
-	SchedulerAwareForCtx(context.Background(), p, total, chunkSize, h)
+	Rethrow(SchedulerAwareForCtx(context.Background(), p, total, chunkSize, h))
 }
 
 // SchedulerAwareForCtx is SchedulerAwareFor with cancellation at chunk

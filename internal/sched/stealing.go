@@ -63,7 +63,9 @@ func (q *stealQueue) empty() bool {
 // them round-robin-contiguously into per-worker queues and lets idle
 // workers steal. Chunk ids and ranges are identical to DynamicFor's, so
 // scheduler-aware loop bodies (and their merge buffers) are oblivious to
-// which scheduler ran them.
+// which scheduler ran them. A panic in body fails only this loop (claimed
+// chunks are consumed, so the steal sweep still terminates) and is rethrown
+// on the calling goroutine as a *PanicError.
 func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
 	numChunks := NumChunks(total, chunkSize)
 	if numChunks == 0 {
@@ -84,7 +86,7 @@ func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid
 		}
 		body(Range{Lo: lo, Hi: hi}, int(id), tid)
 	}
-	p.Run(func(tid int) {
+	Rethrow(p.Run(func(tid int) {
 		// Drain own queue first.
 		for {
 			id := queues[tid].claimOwn()
@@ -113,5 +115,5 @@ func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid
 				run(id, tid)
 			}
 		}
-	})
+	}))
 }

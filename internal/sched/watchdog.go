@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrWatchdogKilled is the cancellation cause a Watchdog attaches when it
+// hard-cancels a run that exceeded the hard wall-clock limit. Serving layers
+// detect it with context.Cause and map it to a distinct status.
+var ErrWatchdogKilled = errors.New("sched: run exceeded watchdog hard limit")
+
+// Watchdog tracks in-flight runs against wall-clock limits. Runs past the
+// soft limit are counted and reported (they keep running — the soft limit is
+// an observability line, not an enforcement one); runs past the hard limit
+// are cancelled through their context, which the pool's loop drivers honor
+// at chunk granularity, so a wedged or runaway run releases its workers
+// within one chunk.
+//
+// The zero value is not usable; NewWatchdog starts the scan goroutine. A nil
+// *Watchdog is valid and tracks nothing, so callers can thread an optional
+// watchdog without branching.
+type Watchdog struct {
+	soft, hard time.Duration
+
+	mu        sync.Mutex
+	runs      map[*watchedRun]struct{}
+	slowTotal uint64
+	hardKills uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// watchedRun is one tracked run.
+type watchedRun struct {
+	start  time.Time
+	cancel context.CancelCauseFunc
+	slow   bool
+	killed bool
+}
+
+// WatchdogStats is a point-in-time summary for health endpoints.
+type WatchdogStats struct {
+	// Active counts currently tracked runs; Slow counts the subset past the
+	// soft limit right now.
+	Active int `json:"active"`
+	Slow   int `json:"slow"`
+	// SlowTotal counts runs that ever crossed the soft limit; HardKills
+	// counts runs cancelled at the hard limit. Both are monotonic.
+	SlowTotal uint64 `json:"slow_total"`
+	HardKills uint64 `json:"hard_kills"`
+	// The configured limits, for display (0 = disabled).
+	SoftLimitMS int64 `json:"soft_limit_ms"`
+	HardLimitMS int64 `json:"hard_limit_ms"`
+}
+
+// NewWatchdog starts a watchdog with the given limits. A zero soft limit
+// disables slow-run counting; a zero hard limit disables hard cancellation.
+// (Both zero is legal but pointless — callers normally keep a nil *Watchdog
+// instead.) The scan period adapts to the tightest limit so enforcement
+// latency stays a small fraction of it.
+func NewWatchdog(soft, hard time.Duration) *Watchdog {
+	w := &Watchdog{
+		soft: soft,
+		hard: hard,
+		runs: make(map[*watchedRun]struct{}),
+		stop: make(chan struct{}),
+	}
+	go w.scan()
+	return w
+}
+
+// period derives the scan interval from the configured limits.
+func (w *Watchdog) period() time.Duration {
+	tightest := w.soft
+	if tightest <= 0 || (w.hard > 0 && w.hard < tightest) {
+		tightest = w.hard
+	}
+	p := tightest / 8
+	const floor, ceil = time.Millisecond, 250 * time.Millisecond
+	if p < floor {
+		p = floor
+	}
+	if p > ceil {
+		p = ceil
+	}
+	return p
+}
+
+// Track registers a run and returns a context the watchdog may hard-cancel,
+// plus a done function the caller must invoke when the run finishes (idempotent
+// use is fine via defer; it also releases the derived context's resources).
+// On a nil watchdog both returns are pass-throughs.
+func (w *Watchdog) Track(ctx context.Context) (context.Context, func()) {
+	if w == nil {
+		return ctx, func() {}
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	r := &watchedRun{start: time.Now(), cancel: cancel}
+	w.mu.Lock()
+	w.runs[r] = struct{}{}
+	w.mu.Unlock()
+	return cctx, func() {
+		cancel(nil)
+		w.mu.Lock()
+		delete(w.runs, r)
+		w.mu.Unlock()
+	}
+}
+
+// scan is the watchdog goroutine: mark slow runs once, cancel overdue ones.
+func (w *Watchdog) scan() {
+	t := time.NewTicker(w.period())
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			w.mu.Lock()
+			for r := range w.runs {
+				el := now.Sub(r.start)
+				if !r.slow && w.soft > 0 && el > w.soft {
+					r.slow = true
+					w.slowTotal++
+				}
+				if !r.killed && w.hard > 0 && el > w.hard {
+					r.killed = true
+					w.hardKills++
+					r.cancel(ErrWatchdogKilled)
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns a point-in-time summary.
+func (w *Watchdog) Stats() WatchdogStats {
+	if w == nil {
+		return WatchdogStats{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WatchdogStats{
+		Active:      len(w.runs),
+		SlowTotal:   w.slowTotal,
+		HardKills:   w.hardKills,
+		SoftLimitMS: w.soft.Milliseconds(),
+		HardLimitMS: w.hard.Milliseconds(),
+	}
+	now := time.Now()
+	for r := range w.runs {
+		if w.soft > 0 && now.Sub(r.start) > w.soft {
+			st.Slow++
+		}
+	}
+	return st
+}
+
+// Close stops the scan goroutine. Tracked runs keep their contexts; no
+// further soft marks or hard kills happen. Idempotent.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+}

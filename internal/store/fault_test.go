@@ -1,0 +1,342 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// evictAll forces every idle entry cold so the next Acquire rehydrates.
+func evictAll(t *testing.T, s *Store) {
+	t.Helper()
+	s.mu.Lock()
+	for _, e := range s.graphs {
+		if e.refs == 0 && e.runner != nil && e.snapshot != "" {
+			s.freeLocked(e)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// TestRehydrateRetriesTransientError: two injected transient failures, then
+// success — Acquire must come back healthy, the retry counter must show the
+// two retries, and Ready must stay nil throughout.
+func TestRehydrateRetriesTransientError(t *testing.T) {
+	if !fault.Available() {
+		t.Skip("failpoints compiled out")
+	}
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2, RehydrateBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := gen.ErdosRenyi(300, 1500, 4)
+	if err := s.Add("g", g); err != nil {
+		t.Fatal(err)
+	}
+	want := pagerankSolo(t, s, "g")
+	evictAll(t, s)
+
+	disarm, err := fault.Enable("store/rehydrate", "error:transient io*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	h, err := s.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire after transient faults = %v, want success via retries", err)
+	}
+	got := pagerank(t, h)
+	h.Close()
+	assertBitIdentical(t, want, got, "post-retry run")
+	if st := s.Stats(); st.RehydrateRetries != 2 {
+		t.Errorf("RehydrateRetries = %d, want 2", st.RehydrateRetries)
+	}
+	if err := s.Ready(); err != nil {
+		t.Errorf("Ready = %v after successful retry, want nil", err)
+	}
+}
+
+// pagerankSolo acquires, runs, closes.
+func pagerankSolo(t *testing.T, s *Store, name string) []uint64 {
+	t.Helper()
+	h, err := s.Acquire(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	return pagerank(t, h)
+}
+
+// TestRehydrateExhaustedReportsDegraded: persistent transient failure turns
+// into a typed *RehydrateError, and enough consecutive failures flip Ready
+// to degraded; a later success heals it.
+func TestRehydrateExhaustedReportsDegraded(t *testing.T) {
+	if !fault.Available() {
+		t.Skip("failpoints compiled out")
+	}
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2, RehydrateAttempts: 2, RehydrateBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := gen.ErdosRenyi(200, 900, 5)
+	if err := s.Add("g", g); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(t, s)
+
+	disarm, err := fault.Enable("store/rehydrate", "error:disk on fire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < wedgedThreshold; i++ {
+		_, err := s.Acquire("g")
+		var re *RehydrateError
+		if !errors.As(err, &re) {
+			t.Fatalf("Acquire %d = %v, want *RehydrateError", i, err)
+		}
+		if re.Attempts != 2 {
+			t.Errorf("RehydrateError.Attempts = %d, want 2", re.Attempts)
+		}
+	}
+	if err := s.Ready(); err == nil {
+		t.Fatalf("Ready = nil after %d consecutive rehydrate failures, want degraded", wedgedThreshold)
+	}
+	disarm()
+
+	// The failure was transient, not sticky: the next Acquire succeeds and
+	// readiness recovers.
+	h, err := s.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire after disarm = %v", err)
+	}
+	h.Close()
+	if err := s.Ready(); err != nil {
+		t.Errorf("Ready = %v after recovery, want nil", err)
+	}
+}
+
+// TestCorruptSnapshotQuarantinedAndHealed: a snapshot damaged on disk is
+// quarantined (moved to *.quarantined, dropped from the manifest), Acquire
+// returns a sticky typed error without re-reading the file, the store stays
+// up, and re-Adding the graph heals it.
+func TestCorruptSnapshotQuarantinedAndHealed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := gen.ErdosRenyi(300, 1500, 6)
+	if err := s.Add("g", g); err != nil {
+		t.Fatal(err)
+	}
+	want := pagerankSolo(t, s, "g")
+	evictAll(t, s)
+
+	// Flip bytes in the middle of the snapshot: the header stays plausible,
+	// so corruption surfaces as a truncation/validation failure.
+	snap := filepath.Join(dir, "g"+snapshotExt)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.Acquire("g")
+	var ce *CorruptSnapshotError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Acquire = %v, want *CorruptSnapshotError", err)
+	}
+	if !errors.Is(err, graph.ErrCorrupt) {
+		t.Error("CorruptSnapshotError does not match graph.ErrCorrupt")
+	}
+	if !strings.HasSuffix(ce.Path, QuarantineExt) {
+		t.Errorf("quarantine path = %q, want %s suffix", ce.Path, QuarantineExt)
+	}
+	if _, err := os.Stat(ce.Path); err != nil {
+		t.Errorf("quarantined bytes not preserved: %v", err)
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Errorf("corrupt snapshot still at original path (err=%v)", err)
+	}
+
+	// Sticky: the second Acquire fails identically (and must not panic on a
+	// missing file).
+	if _, err := s.Acquire("g"); !errors.As(err, &ce) {
+		t.Fatalf("second Acquire = %v, want sticky *CorruptSnapshotError", err)
+	}
+	var info GraphInfo
+	for _, gi := range s.List() {
+		if gi.Name == "g" {
+			info = gi
+		}
+	}
+	if !info.Quarantined || info.Resident || info.Snapshotted {
+		t.Errorf("List entry = %+v, want quarantined, cold, unsnapshotted", info)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("Stats.Quarantined = %d, want 1", st.Quarantined)
+	}
+	if err := s.Ready(); err != nil {
+		t.Errorf("Ready = %v, want nil (quarantine is per-graph, not store-wide)", err)
+	}
+
+	// Re-adding the graph heals it end to end, including persistence.
+	if err := s.Add("g", g); err != nil {
+		t.Fatalf("healing Add = %v", err)
+	}
+	evictAll(t, s)
+	got := pagerankSolo(t, s, "g")
+	assertBitIdentical(t, want, got, "healed graph")
+}
+
+// TestSnapshotWriteFailureKeepsPreviousVersion is the acceptance-criteria
+// crash test: a snapshot write that dies mid-stream (torn temp file, no
+// rename) must fail the Add, keep the previous version serving, and leave
+// the store reopenable with the previous version intact.
+func TestSnapshotWriteFailureKeepsPreviousVersion(t *testing.T) {
+	if !fault.Available() {
+		t.Skip("failpoints compiled out")
+	}
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := gen.ErdosRenyi(300, 1500, 7)
+	if err := s.Add("g", g1); err != nil {
+		t.Fatal(err)
+	}
+	want := pagerankSolo(t, s, "g")
+
+	disarm, err := fault.Enable("store/snapshot-write", "error:killed mid-write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.ErdosRenyi(400, 2000, 8)
+	if err := s.Add("g", g2); err == nil {
+		t.Fatal("Add with dying snapshot write returned nil error")
+	}
+	disarm()
+
+	// The previous version still serves in this process...
+	assertBitIdentical(t, want, pagerankSolo(t, s, "g"), "previous version after failed Add")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and across a reopen: the manifest still points at the old snapshot,
+	// and the torn temp file is ignored.
+	s2, err := Open(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatalf("reopen after torn write = %v", err)
+	}
+	defer s2.Close()
+	h, err := s2.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire after reopen = %v", err)
+	}
+	if h.Source().NumVertices != g1.NumVertices {
+		t.Errorf("reopened graph has %d vertices, want previous version's %d",
+			h.Source().NumVertices, g1.NumVertices)
+	}
+	got := pagerank(t, h)
+	h.Close()
+	assertBitIdentical(t, want, got, "previous version after reopen")
+}
+
+// TestManifestWriteFailureSurfacesError: a failing manifest write errors the
+// Add but the on-disk manifest keeps its previous consistent content.
+func TestManifestWriteFailureSurfacesError(t *testing.T) {
+	if !fault.Available() {
+		t.Skip("failpoints compiled out")
+	}
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add("a", gen.ErdosRenyi(100, 400, 9)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disarm, err := fault.Enable("store/manifest-write", "error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addErr := s.Add("b", gen.ErdosRenyi(100, 400, 10))
+	disarm()
+	if addErr == nil {
+		t.Fatal("Add with failing manifest write returned nil error")
+	}
+	after, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("manifest changed despite failed write")
+	}
+}
+
+// TestWatchdogHardKillsRunawayQuery: a query tracked through the store's
+// watchdog is cancelled at the hard limit with the watchdog cause, and the
+// kill shows up in Stats.
+func TestWatchdogHardKillsRunawayQuery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Workers: 2, SoftRunLimit: 5 * time.Millisecond, HardRunLimit: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Add("g", gen.RMAT(12, 60000, gen.DefaultRMAT, 11)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	ctx, done := s.TrackRun(context.Background())
+	defer done()
+	_, runErr := core.RunCtx(ctx, h.Runner(), apps.NewPageRank(h.Source()), 1<<20)
+	if runErr == nil {
+		t.Fatal("runaway query returned nil error")
+	}
+	if !errors.Is(context.Cause(ctx), sched.ErrWatchdogKilled) {
+		t.Errorf("cancellation cause = %v, want sched.ErrWatchdogKilled", context.Cause(ctx))
+	}
+	done()
+	st := s.Stats()
+	if st.Watchdog == nil {
+		t.Fatal("Stats.Watchdog nil with limits configured")
+	}
+	if st.Watchdog.HardKills != 1 {
+		t.Errorf("HardKills = %d, want 1", st.Watchdog.HardKills)
+	}
+	if st.Watchdog.SlowTotal < 1 {
+		t.Errorf("SlowTotal = %d, want >= 1", st.Watchdog.SlowTotal)
+	}
+}

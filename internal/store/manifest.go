@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -91,15 +92,26 @@ func (s *Store) syncManifestLocked() error {
 	}
 	path := manifestPath(s.cfg.DataDir)
 	tmp := path + ".tmp"
+	if err := fault.Inject("store/manifest-write"); err != nil {
+		return err
+	}
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
 }
 
-// writeSnapshot persists g atomically (write-to-temp, rename).
+// writeSnapshot persists g atomically (write-to-temp, rename). The
+// store/snapshot-write failpoint simulates a process dying mid-stream: it
+// leaves a torn temp file behind and never reaches the rename, exactly the
+// on-disk state a crash produces — the previous snapshot and manifest stay
+// intact.
 func writeSnapshot(path string, g *graph.Graph) error {
 	tmp := path + ".tmp"
+	if err := fault.Inject("store/snapshot-write"); err != nil {
+		os.WriteFile(tmp, []byte(`GRZG torn write`), 0o644)
+		return err
+	}
 	if err := g.WriteFile(tmp); err != nil {
 		os.Remove(tmp)
 		return err

@@ -32,6 +32,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -76,6 +77,19 @@ type Config struct {
 	// Workers sizes the shared worker pool every graph's runner executes on
 	// (0 = GOMAXPROCS).
 	Workers int
+	// RehydrateAttempts bounds how often a transiently failing snapshot load
+	// is tried before Acquire gives up with a *RehydrateError (default 3).
+	// Corruption is never retried — it quarantines immediately.
+	RehydrateAttempts int
+	// RehydrateBackoff is the initial delay between rehydration attempts,
+	// doubling per retry and capped at one second (default 10ms).
+	RehydrateBackoff time.Duration
+	// SoftRunLimit and HardRunLimit configure the run watchdog: queries
+	// tracked via TrackRun that outlive SoftRunLimit are counted in Stats,
+	// and ones past HardRunLimit are cancelled with cause
+	// sched.ErrWatchdogKilled. Zero disables the respective limit; both zero
+	// disables the watchdog entirely.
+	SoftRunLimit, HardRunLimit time.Duration
 	// Engine supplies base engine options for every graph's runner. Pool,
 	// Workers, Topology, and OnRelease are managed by the store and
 	// ignored if set.
@@ -88,6 +102,8 @@ type Store struct {
 	cfg  Config
 	pool *sched.Pool
 	adm  *sched.Admission
+	// watchdog enforces Config's run limits; nil when both are zero.
+	watchdog *sched.Watchdog
 
 	mu        sync.Mutex
 	graphs    map[string]*entry
@@ -96,6 +112,12 @@ type Store struct {
 	evictions uint64
 	runs      uint64
 	closed    bool
+	// rehydrateRetries counts transient rehydration retries (monotonic);
+	// quarantined counts snapshots moved aside as corrupt; rehydrateStreak is
+	// the current run of consecutive exhausted-retry failures feeding Ready.
+	rehydrateRetries uint64
+	quarantined      uint64
+	rehydrateStreak  int
 }
 
 // entry is one version of a named graph. Fields below the comment are
@@ -120,6 +142,10 @@ type entry struct {
 	bytes    int64 // resident bytes (0 when cold)
 	runner   *core.Runner
 	src      *graph.Graph
+	// corrupt is the sticky *CorruptSnapshotError set when rehydration found
+	// the snapshot damaged; Acquire returns it without touching disk until a
+	// new Add replaces the entry.
+	corrupt error
 }
 
 // Handle pins one graph version. The runner and source pointers are
@@ -159,18 +185,24 @@ func Open(cfg Config) (*Store, error) {
 		s.pool.SetMaxActiveJobs(cfg.MaxInFlight)
 	}
 	s.adm = sched.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue)
+	if cfg.SoftRunLimit > 0 || cfg.HardRunLimit > 0 {
+		s.watchdog = sched.NewWatchdog(cfg.SoftRunLimit, cfg.HardRunLimit)
+	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			s.watchdog.Close()
 			s.pool.Close()
 			return nil, err
 		}
 		m, err := loadManifest(manifestPath(cfg.DataDir))
 		if err != nil {
+			s.watchdog.Close()
 			s.pool.Close()
 			return nil, err
 		}
 		for _, me := range m.Graphs {
 			if !ValidName(me.Name) {
+				s.watchdog.Close()
 				s.pool.Close()
 				return nil, fmt.Errorf("store: manifest entry has invalid name %q", me.Name)
 			}
@@ -197,6 +229,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.watchdog.Close()
 	s.pool.Close()
 	return nil
 }
@@ -299,11 +332,17 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 
 	e.load.Lock()
 	if e.runner == nil {
-		g, err := graph.ReadFile(e.snapshot)
+		if ce := e.corrupt; ce != nil {
+			// Sticky: the snapshot was quarantined; only a new Add heals.
+			e.load.Unlock()
+			s.release(e)
+			return nil, ce
+		}
+		g, err := s.rehydrate(e)
 		if err != nil {
 			e.load.Unlock()
 			s.release(e)
-			return nil, fmt.Errorf("store: rehydrating %q: %w", name, err)
+			return nil, err
 		}
 		cg := core.BuildGraph(g)
 		runner := core.NewRunner(cg, s.runnerOptions(e))
@@ -449,6 +488,9 @@ type GraphInfo struct {
 	MemoryBytes int64 `json:"memory_bytes"`
 	// Snapshotted reports whether a snapshot exists on disk.
 	Snapshotted bool `json:"snapshotted"`
+	// Quarantined reports that the graph's snapshot was found corrupt and
+	// moved aside; Acquire fails until the graph is re-added.
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Refs counts open handles; Runs counts completed engine runs on the
 	// current version.
 	Refs int    `json:"refs"`
@@ -469,6 +511,7 @@ func (s *Store) List() []GraphInfo {
 			Resident:    e.runner != nil,
 			MemoryBytes: e.bytes,
 			Snapshotted: e.snapshot != "",
+			Quarantined: e.corrupt != nil,
 			Refs:        e.refs,
 			Runs:        e.runs,
 		})
@@ -496,6 +539,14 @@ type Stats struct {
 	// Evictions counts budget evictions; Runs counts completed engine runs.
 	Evictions uint64 `json:"evictions"`
 	Runs      uint64 `json:"runs"`
+	// RehydrateRetries counts transient snapshot-load retries; Quarantined
+	// counts snapshots moved aside as corrupt; PoolPanics counts panics the
+	// worker pool contained.
+	RehydrateRetries uint64 `json:"rehydrate_retries"`
+	Quarantined      uint64 `json:"quarantined"`
+	PoolPanics       uint64 `json:"pool_panics"`
+	// Watchdog summarizes the run watchdog (nil when disabled).
+	Watchdog *sched.WatchdogStats `json:"watchdog,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the store's load.
@@ -513,6 +564,14 @@ func (s *Store) Stats() Stats {
 		Rejected:      s.adm.Rejected(),
 		Evictions:     s.evictions,
 		Runs:          s.runs,
+
+		RehydrateRetries: s.rehydrateRetries,
+		Quarantined:      s.quarantined,
+		PoolPanics:       s.pool.Panics(),
+	}
+	if s.watchdog != nil {
+		wst := s.watchdog.Stats()
+		st.Watchdog = &wst
 	}
 	for _, e := range s.graphs {
 		if e.runner != nil {

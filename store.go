@@ -2,8 +2,10 @@ package grazelle
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -13,11 +15,32 @@ import (
 // the state behind `grazelle serve`.
 
 // Store lifecycle and capacity errors. ErrOverloaded matches the typed
-// admission error Store.Admit returns under errors.Is.
+// admission error Store.Admit returns under errors.Is; ErrWatchdogKilled is
+// the cancellation cause attached to runs the watchdog hard-cancels (detect
+// with context.Cause); ErrCorruptGraph matches any deserialization failure
+// caused by damaged data (including a *CorruptSnapshotError).
 var (
-	ErrGraphNotFound = store.ErrNotFound
-	ErrStoreClosed   = store.ErrClosed
-	ErrOverloaded    = store.ErrOverloaded
+	ErrGraphNotFound  = store.ErrNotFound
+	ErrStoreClosed    = store.ErrClosed
+	ErrOverloaded     = store.ErrOverloaded
+	ErrWatchdogKilled = sched.ErrWatchdogKilled
+	ErrCorruptGraph   = graph.ErrCorrupt
+)
+
+// Fault-containment types, re-exported from the internal layers.
+type (
+	// PanicError is a panic captured inside an engine run and converted into
+	// an error: the run fails alone, the pool and sibling runs survive. It
+	// carries the original panic value and stack.
+	PanicError = sched.PanicError
+	// CorruptSnapshotError reports a snapshot that failed validation and was
+	// quarantined (sticky until the graph is re-added).
+	CorruptSnapshotError = store.CorruptSnapshotError
+	// RehydrateError reports a snapshot load that kept failing transiently
+	// after the configured retries (not sticky; the next Acquire retries).
+	RehydrateError = store.RehydrateError
+	// WatchdogStats summarizes the run watchdog in StoreStats.
+	WatchdogStats = sched.WatchdogStats
 )
 
 // StoreConfig configures a Store.
@@ -36,6 +59,17 @@ type StoreConfig struct {
 	MaxInFlight, MaxQueue int
 	// Workers sizes the one worker pool all graphs share (0 = GOMAXPROCS).
 	Workers int
+	// RehydrateAttempts bounds retries of transiently failing snapshot loads
+	// (default 3); RehydrateBackoff is the initial retry delay, doubling per
+	// attempt and capped at one second (default 10ms). Corrupt snapshots are
+	// never retried — they are quarantined.
+	RehydrateAttempts int
+	RehydrateBackoff  time.Duration
+	// SoftRunLimit and HardRunLimit configure the run watchdog for queries
+	// tracked via TrackRun: past the soft limit a run is counted as slow in
+	// Stats, past the hard limit it is cancelled with cause
+	// ErrWatchdogKilled. Zero disables the respective limit.
+	SoftRunLimit, HardRunLimit time.Duration
 	// Options supplies engine options for every graph's runner. Workers and
 	// Sockets are ignored: the store's shared pool runs a single-node
 	// topology.
@@ -53,12 +87,16 @@ type Store struct {
 // cfg.DataDir (cold — loaded on first Acquire).
 func OpenStore(cfg StoreConfig) (*Store, error) {
 	s, err := store.Open(store.Config{
-		DataDir:     cfg.DataDir,
-		MemBudget:   cfg.MemBudgetBytes,
-		MaxInFlight: cfg.MaxInFlight,
-		MaxQueue:    cfg.MaxQueue,
-		Workers:     cfg.Workers,
-		Engine:      cfg.Options.coreOptions(),
+		DataDir:           cfg.DataDir,
+		MemBudget:         cfg.MemBudgetBytes,
+		MaxInFlight:       cfg.MaxInFlight,
+		MaxQueue:          cfg.MaxQueue,
+		Workers:           cfg.Workers,
+		RehydrateAttempts: cfg.RehydrateAttempts,
+		RehydrateBackoff:  cfg.RehydrateBackoff,
+		SoftRunLimit:      cfg.SoftRunLimit,
+		HardRunLimit:      cfg.HardRunLimit,
+		Engine:            cfg.Options.coreOptions(),
 	})
 	if err != nil {
 		return nil, err
@@ -109,6 +147,20 @@ func (s *Store) Stats() StoreStats { return s.s.Stats() }
 // ErrOverloaded; while queued, ctx cancellation is honored.
 func (s *Store) Admit(ctx context.Context) (release func(), err error) {
 	return s.s.Admit(ctx)
+}
+
+// Ready reports whether the store can usefully serve: nil when healthy,
+// ErrStoreClosed after Close, or a degraded-state error while snapshot
+// rehydration is persistently failing. Serving layers map a non-nil result
+// to an unready health check.
+func (s *Store) Ready() error { return s.s.Ready() }
+
+// TrackRun registers one query with the store's watchdog (configured via
+// SoftRunLimit/HardRunLimit): the returned context is cancelled with cause
+// ErrWatchdogKilled if the run exceeds the hard limit. Call done when the
+// run finishes. Without configured limits both returns are pass-throughs.
+func (s *Store) TrackRun(ctx context.Context) (tracked context.Context, done func()) {
+	return s.s.TrackRun(ctx)
 }
 
 // StoreHandle pins one version of a named graph and exposes an Engine bound
