@@ -80,11 +80,15 @@ func BenchmarkFig1(b *testing.B) {
 // benchPullVariant measures one pull-engine PageRank iteration under a
 // given variant, kernel, and granularity.
 func benchPullVariant(b *testing.B, d gen.Dataset, variant core.PullVariant, scalar bool, gran, workers int) {
+	benchPullTraced(b, d, variant, scalar, gran, workers, false)
+}
+
+func benchPullTraced(b *testing.B, d gen.Dataset, variant core.PullVariant, scalar bool, gran, workers int, trace bool) {
 	b.Helper()
 	g, cg := benchGraph(b, d)
 	r := core.NewRunner(cg, core.Options{
 		Workers: workers, Variant: variant, Scalar: scalar,
-		ChunkVectors: gran, Mode: core.EnginePullOnly,
+		ChunkVectors: gran, Mode: core.EnginePullOnly, Trace: trace,
 	})
 	defer r.Close()
 	p := apps.NewPageRank(g)
@@ -102,6 +106,20 @@ func BenchmarkFig5(b *testing.B) {
 		for _, v := range []core.PullVariant{core.PullTraditional, core.PullTraditionalNonatomic, core.PullSchedulerAware} {
 			b.Run(d.Abbrev()+"/"+v.String(), func(b *testing.B) {
 				benchPullVariant(b, d, v, false, 1000, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Traced repeats the Fig 5 matrix with the phase tracer on.
+// The tracer's budget (DESIGN.md §10) is 5% over the untraced runs: it
+// costs two clock reads per phase boundary and one atomic add per chunk,
+// never per-edge work.
+func BenchmarkFig5Traced(b *testing.B) {
+	for _, d := range gen.AllDatasets {
+		for _, v := range []core.PullVariant{core.PullTraditional, core.PullTraditionalNonatomic, core.PullSchedulerAware} {
+			b.Run(d.Abbrev()+"/"+v.String(), func(b *testing.B) {
+				benchPullTraced(b, d, v, false, 1000, 0, true)
 			})
 		}
 	}

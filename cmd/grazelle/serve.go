@@ -6,16 +6,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
 	"syscall"
 	"time"
 
 	grazelle "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // serve mode: `grazelle serve` turns the engine into a small JSON-over-HTTP
@@ -40,6 +44,15 @@ import (
 //	POST   /v1/query            run an application
 //	                            {"graph":"t","app":"pr","iters":16,
 //	                             "root":0,"timeout_ms":500,"values":false}
+//	GET    /metrics             Prometheus text exposition: store, scheduler,
+//	                            admission, watchdog, HTTP, and run families
+//	GET    /v1/runs             recent run records, newest first (?n= bounds)
+//	GET    /v1/runs/{id}        one run's phase trace (404 once aged out)
+//
+// Every query response carries a run_id; the same id keys the run's record
+// in /v1/runs/{id} and the structured request log. With -pprof-addr set, a
+// second listener serves net/http/pprof — kept off the public address so
+// profiling is never exposed by default.
 //
 // Admission rejections return 429 (queue full) with Retry-After; queries on
 // unknown graphs 404; unloadable graph payloads 422; a degraded store
@@ -62,6 +75,9 @@ func runServe(args []string) error {
 		maxQueue  = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
 		softLimit = fs.Duration("soft-limit", 0, "watchdog soft run limit: slower queries are counted in /v1/stats (0 = off)")
 		hardLimit = fs.Duration("hard-limit", 0, "watchdog hard run limit: slower queries are cancelled with 503 (0 = off)")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		runHist   = fs.Int("run-history", 128, "run trace records retained for /v1/runs")
+		logLevel  = fs.String("log-level", "info", "request log level (debug logs probe/scrape requests too)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,12 +91,31 @@ func runServe(args []string) error {
 		Workers:        *threads,
 		SoftRunLimit:   *softLimit,
 		HardRunLimit:   *hardLimit,
+		// Phase tracing is on for every serve-mode run: its cost is
+		// phase-boundary-only and it feeds /v1/runs and the phase histograms.
+		Options: grazelle.Options{Trace: true},
 	})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
-	srv := &server{store: st, maxTimeout: *timeout}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	workers := *threads
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	srv := &server{
+		store:      st,
+		maxTimeout: *timeout,
+		workers:    workers,
+		log:        slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		ring:       obs.NewTraceRing(*runHist),
+		metrics:    newServeMetrics(st.Metrics()),
+	}
 
 	switch {
 	case *dataset != "":
@@ -106,9 +141,28 @@ func runServe(args []string) error {
 		return err
 	}
 	// The resolved address is printed (not just logged) so callers binding
-	// port 0 can discover the port.
+	// port 0 can discover the port. It must be the first address announced —
+	// scripts take the first "http://" line as the service base URL.
 	fmt.Printf("grazelle: serving on http://%s\n", ln.Addr())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
+
+	// Profiling stays on its own opt-in listener so it is never reachable
+	// through the public address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("grazelle: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pmux)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -133,25 +187,37 @@ func runServe(args []string) error {
 // few hundred bytes of JSON.
 const maxBodyBytes = 1 << 20
 
-// server adapts HTTP to the store. It holds no graph state of its own.
+// server adapts HTTP to the store. It holds no graph state of its own
+// beyond observability: the run-trace ring, the metric handles, and the
+// request logger.
 type server struct {
 	store      *grazelle.Store
 	maxTimeout time.Duration
+	workers    int
+	log        *slog.Logger
+	ring       *obs.TraceRing
+	metrics    *serveMetrics
 }
 
 func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	return recoverMiddleware(mux)
+	handle("GET /readyz", s.handleReady)
+	handle("GET /metrics", s.store.Metrics().Handler().ServeHTTP)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/runs", s.handleRuns)
+	handle("GET /v1/runs/{id}", s.handleRunByID)
+	handle("GET /v1/graphs", s.handleListGraphs)
+	handle("POST /v1/graphs", s.handleAddGraph)
+	handle("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	handle("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
+	handle("POST /v1/query", s.handleQuery)
+	return s.recoverMiddleware(mux)
 }
 
 // recoverMiddleware contains handler panics: the failing request gets a 500
@@ -159,11 +225,15 @@ func (s *server) mux() http.Handler {
 // handler's own defers (admission release, handle close) have already run
 // during unwinding. Without it net/http kills the connection mid-response
 // and a panic in pre-handler state could leak slots.
-func recoverMiddleware(next http.Handler) http.Handler {
+func (s *server) recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				fmt.Fprintf(os.Stderr, "grazelle: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.log.Error("handler panic",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()))
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
 			}
 		}()
@@ -274,6 +344,8 @@ func (s *server) handleSnapshotGraph(w http.ResponseWriter, r *http.Request) {
 // per-application summary fields is set; Values carries per-vertex output
 // only when the request asked for it.
 type queryResponse struct {
+	// RunID keys this run's trace in GET /v1/runs/{id} and the request log.
+	RunID      string `json:"run_id"`
 	Graph      string `json:"graph"`
 	App        string `json:"app"`
 	Iterations int    `json:"iterations"`
@@ -307,6 +379,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Iters <= 0 {
 		req.Iters = 16
+	}
+	switch req.App {
+	case "pr", "wpr", "cc", "bfs", "sssp":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", req.App))
+		return
 	}
 	timeout := s.maxTimeout
 	if req.TimeoutMS > 0 {
@@ -350,7 +428,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, done := s.store.TrackRun(ctx)
 	defer done()
 
-	resp := queryResponse{Graph: req.Graph, App: req.App}
+	// The run ID goes out as a header before the body so the request log's
+	// instrumentation can pick it up even on error responses.
+	runID := nextRunID()
+	w.Header().Set("X-Run-Id", runID)
+	start := time.Now()
+
+	resp := queryResponse{RunID: runID, Graph: req.Graph, App: req.App}
 	var stats grazelle.Stats
 	switch req.App {
 	case "pr":
@@ -402,10 +486,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if req.Values {
 			resp.Values = res.Dist
 		}
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", req.App))
-		return
 	}
+	// Record the run — success or failure — before responding: the wall
+	// time feeds the run histograms and the trace lands in the ring where
+	// GET /v1/runs/{id} can replay it.
+	wall := time.Since(start)
+	s.metrics.observeRun(wall, stats.Phases, stats.TraceDropped)
+	rec := obs.RunRecord{
+		ID:       runID,
+		Graph:    req.Graph,
+		App:      req.App,
+		Start:    start,
+		Wall:     wall,
+		Trace:    obs.RunTrace{Phases: stats.Phases, Dropped: stats.TraceDropped},
+		Workers:  s.workers,
+		Iters:    stats.Iterations,
+		Vertices: int64(h.Graph().NumVertices()),
+		Edges:    int64(h.Graph().NumEdges()),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.ring.Add(rec)
+
 	if err != nil {
 		writeError(w, runStatus(ctx, err), err)
 		return
@@ -416,6 +519,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = stats.Total.Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// Sentinel errors for the /v1/runs endpoints.
+var (
+	errBadRunCount = errors.New("bad n: want a nonnegative integer")
+	errRunNotFound = errors.New("run not found (aged out of the trace ring or never existed)")
+)
 
 // acquireStatus maps a Store.Acquire failure to an HTTP status: unknown
 // name 404; store shutting down or snapshot data failing (quarantined

@@ -33,6 +33,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -172,6 +173,11 @@ type Options struct {
 	// past the limit stops within one scheduler chunk and returns its
 	// partial result with an error wrapping context.DeadlineExceeded.
 	MaxRunTime time.Duration
+	// Trace enables the per-run phase tracer: Stats gains a Phases
+	// breakdown (wall time, chunks, steals, frontier density per engine
+	// phase). Overhead is phase-boundary-only — a fraction of a percent —
+	// so serving layers keep it on.
+	Trace bool
 }
 
 // Engine executes graph applications on one Graph. Engines hold a worker
@@ -200,6 +206,7 @@ func (opt Options) coreOptions() core.Options {
 		Record:         opt.Record,
 		SparseFrontier: opt.SparseFrontier,
 		MaxRunTime:     opt.MaxRunTime,
+		Trace:          opt.Trace,
 	}
 }
 
@@ -230,6 +237,11 @@ func (e *Engine) Close() { e.r.Close() }
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *Graph { return e.g }
 
+// PhaseStat is one engine phase's aggregate within a run's trace: wall
+// time, chunk and steal counts, iteration count, and the frontier-density
+// bounds observed when the phase ran.
+type PhaseStat = obs.PhaseStat
+
 // Stats summarizes a run.
 type Stats struct {
 	// Iterations counts Edge+Vertex rounds; Pull/Push split them by engine.
@@ -239,6 +251,13 @@ type Stats struct {
 	// EdgeCounters and VertexCounters hold the perfmodel counters (zero
 	// unless Options.Record was set).
 	EdgeCounters, VertexCounters Counters
+	// Phases is the per-phase breakdown (empty unless Options.Trace was
+	// set): edge-pull, edge-push, vertex, and merge, in that order, with
+	// phases that never ran omitted.
+	Phases []PhaseStat
+	// TraceDropped reports that tracing failed mid-run and was abandoned
+	// (the run itself succeeded); Phases may be incomplete.
+	TraceDropped bool
 }
 
 func statsOf(res core.Result) Stats {
@@ -251,6 +270,8 @@ func statsOf(res core.Result) Stats {
 		Total:          res.Total,
 		EdgeCounters:   res.EdgeCounters,
 		VertexCounters: res.VertexCounters,
+		Phases:         res.Trace.Phases,
+		TraceDropped:   res.Trace.Dropped,
 	}
 }
 

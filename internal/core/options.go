@@ -105,6 +105,13 @@ type Options struct {
 	// Record enables the perfmodel counters and time profiles. Metering
 	// adds per-edge accounting cost, so benchmarks leave it off.
 	Record bool
+	// Trace enables the per-run phase tracer: each run's Result carries a
+	// RunTrace of wall time, chunk count, steal count, and frontier density
+	// per engine phase. Unlike Record, tracing observes only phase
+	// boundaries (one timestamp pair and two counter swaps per phase), so
+	// its overhead is a fraction of a percent and serving layers leave it
+	// on.
+	Trace bool
 	// SparseFrontier enables the sparse-frontier extension the paper defers
 	// to future work (§5): when the frontier is small, the Edge phase
 	// visits only the frontier’s out-vectors and the Vertex phase only the

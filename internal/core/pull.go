@@ -174,6 +174,7 @@ func mergeAccum[P apps.Program](r *ExecContext, p P, identity uint64) {
 			r.accum[dst] = p.Combine(r.accum[dst], v)
 		}
 	})
+	r.noteMerge(time.Since(t0))
 	if r.edgeRec != nil {
 		r.edgeRec.MergeTime += time.Since(t0)
 		r.edgeRec.Record(0, perfmodel.Counters{MergeOps: uint64(n)})

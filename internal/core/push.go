@@ -135,6 +135,7 @@ func mergeScatter[P apps.Program](r *ExecContext, p P) {
 	n := r.scatterBuf.Merge(func(dst uint32, v uint64) {
 		accum[dst] = p.Combine(accum[dst], v)
 	})
+	r.noteMerge(time.Since(t0))
 	if r.edgeRec != nil {
 		r.edgeRec.MergeTime += time.Since(t0)
 		r.edgeRec.Record(0, perfmodel.Counters{MergeOps: uint64(n), SharedWrites: uint64(n)})

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/frontier"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
 	"repro/internal/vec"
@@ -63,6 +64,19 @@ type ExecContext struct {
 	// edgeRec and vertexRec collect counters when Options.Record is set;
 	// nil otherwise.
 	edgeRec, vertexRec *perfmodel.Recorder
+
+	// tracer accumulates the per-phase breakdown when Options.Trace is set;
+	// nil otherwise. Only the driver goroutine writes it — workers feed the
+	// two counters below, which the driver swaps out at phase boundaries.
+	tracer       *obs.TraceBuilder
+	traceDropped bool
+	// phaseChunks counts chunks executed since the last phase boundary
+	// (written by workers, hence atomic); phaseSteals and the pendingMerge
+	// pair are driver-goroutine-only.
+	phaseChunks      atomic.Int64
+	phaseSteals      int64
+	pendingMergeWall time.Duration
+	pendingMergeN    int
 
 	// ctx and done carry the run's cancellation signal; chunk-claim loops
 	// poll done so cancellation takes effect within one chunk boundary.
@@ -145,6 +159,9 @@ func (r *Runner) NewContext() *ExecContext {
 		ec.edgeRec = perfmodel.NewRecorder(r.pool.Workers())
 		ec.vertexRec = perfmodel.NewRecorder(r.pool.Workers())
 	}
+	if r.opt.Trace {
+		ec.tracer = &obs.TraceBuilder{}
+	}
 	return ec
 }
 
@@ -204,6 +221,14 @@ func (ec *ExecContext) Init(p apps.Program) {
 	ec.scatterBuf.Merge(func(uint32, uint64) {})
 	ec.edgeRec.Reset()
 	ec.vertexRec.Reset()
+	if ec.tracer != nil {
+		ec.tracer.Reset()
+	}
+	ec.traceDropped = false
+	ec.phaseChunks.Store(0)
+	ec.phaseSteals = 0
+	ec.pendingMergeWall = 0
+	ec.pendingMergeN = 0
 }
 
 // cancelled reports whether the run's context is done. The check is a
@@ -243,7 +268,64 @@ func (ec *ExecContext) runChunk(body func(rg sched.Range, chunkID, tid, node int
 	if err := fault.Inject("core/chunk"); err != nil {
 		panic(err)
 	}
+	ec.countChunk()
 	body(rg, chunkID, tid, node)
+}
+
+// countChunk feeds the phase tracer's chunk counter; called by every chunk
+// execution path (dispatch, the sparse edge loop, the static vertex loops).
+func (ec *ExecContext) countChunk() {
+	if ec.tracer != nil {
+		ec.phaseChunks.Add(1)
+	}
+}
+
+// tracePhase records one phase execution into the run's trace builder. The
+// obs/trace failpoint and the recover barrier implement the containment
+// contract: a panic anywhere in the trace path drops the trace (marked
+// Dropped) but never fails the run.
+func (ec *ExecContext) tracePhase(ph obs.Phase, wall time.Duration, chunks, steals int64, density float64) {
+	if ec.tracer == nil || ec.traceDropped {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ec.traceDropped = true
+			ec.tracer.MarkDropped()
+		}
+	}()
+	if err := fault.Inject("obs/trace"); err != nil {
+		panic(err)
+	}
+	ec.tracer.AddPhase(ph, wall, chunks, steals, density)
+}
+
+// takePhaseCounters drains the chunk and steal counters accumulated since
+// the previous phase boundary. Driver goroutine only.
+func (ec *ExecContext) takePhaseCounters() (chunks, steals int64) {
+	chunks = ec.phaseChunks.Swap(0)
+	steals = ec.phaseSteals
+	ec.phaseSteals = 0
+	return chunks, steals
+}
+
+// takeMerge drains the merge wall time the edge-phase kernels accumulated
+// via noteMerge. Driver goroutine only.
+func (ec *ExecContext) takeMerge() (wall time.Duration, n int) {
+	wall, n = ec.pendingMergeWall, ec.pendingMergeN
+	ec.pendingMergeWall, ec.pendingMergeN = 0, 0
+	return wall, n
+}
+
+// noteMerge records one merge fold's wall time. The merge runs on the
+// driver goroutine inside the edge-phase window; runLoop subtracts this from
+// the edge wall so the merge phase is not double-counted.
+func (ec *ExecContext) noteMerge(wall time.Duration) {
+	if ec.tracer == nil {
+		return
+	}
+	ec.pendingMergeWall += wall
+	ec.pendingMergeN++
 }
 
 // dispatch hands contiguous chunks of [0, total) to workers, restricted to
@@ -257,7 +339,7 @@ func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmod
 	if ec.opt.WorkStealing && ec.topo.Nodes == 1 {
 		_, total := part.Range(0)
 		ec.mergeBuf.Grow(sched.NumChunks(total, chunkSize))
-		ec.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
+		steals := ec.pool.StealingFor(total, chunkSize, func(rg sched.Range, chunkID, tid int) {
 			if ec.aborted() {
 				return
 			}
@@ -269,6 +351,9 @@ func (ec *ExecContext) dispatch(part numa.Partition, chunkSize int, rec *perfmod
 				ec.runChunk(body, rg, chunkID, tid, 0)
 			}
 		})
+		if ec.tracer != nil {
+			ec.phaseSteals += steals
+		}
 		return
 	}
 	nodes := part.Nodes()
@@ -337,6 +422,8 @@ type Result struct {
 	EdgeCounters, VertexCounters perfmodel.Counters
 	// EdgeProfile is the Fig 5b Work/Merge/Write/Idle breakdown.
 	EdgeProfile perfmodel.Breakdown
+	// Trace is the per-phase breakdown (empty unless Options.Trace).
+	Trace obs.RunTrace
 }
 
 // Run executes program p for at most maxIters iterations (frontier-driven
@@ -398,37 +485,56 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 			break
 		}
 		p.PreIteration(ec.props)
+		// The iteration's frontier density drives both the engine choice and
+		// the trace; computing it once keeps the two consistent.
+		density := 1.0
+		if usesFrontier {
+			density = ec.front.Density()
+		}
 		if front, ok := ec.selectSparse(p); ok {
 			t0 := time.Now()
 			touched := runEdgePushSparse(ec, p, front)
 			t1 := time.Now()
-			res.EdgeTime += t1.Sub(t0)
+			edgeWall := t1.Sub(t0)
+			res.EdgeTime += edgeWall
+			ec.traceEdge(obs.PhaseEdgePush, edgeWall, density)
 			runVertexSparse(ec, p, touched)
-			res.VertexTime += time.Since(t1)
+			vertexWall := time.Since(t1)
+			res.VertexTime += vertexWall
+			ec.traceVertex(vertexWall, density)
 			res.PushIterations++
 			res.SparseIterations++
 			res.Iterations++
 			continue
 		}
-		usePull := ec.selectPull(p)
+		usePull := ec.selectPull(p, density)
 		t0 := time.Now()
+		ph := obs.PhaseEdgePush
 		if usePull {
 			RunEdgePull(ec, p)
 			res.PullIterations++
+			ph = obs.PhaseEdgePull
 		} else {
 			RunEdgePush(ec, p)
 			res.PushIterations++
 		}
 		t1 := time.Now()
-		res.EdgeTime += t1.Sub(t0)
+		edgeWall := t1.Sub(t0)
+		res.EdgeTime += edgeWall
+		ec.traceEdge(ph, edgeWall, density)
 		RunVertex(ec, p)
-		res.VertexTime += time.Since(t1)
+		vertexWall := time.Since(t1)
+		res.VertexTime += vertexWall
+		ec.traceVertex(vertexWall, density)
 		res.Iterations++
 	}
 	res.Total = time.Since(start)
 	res.EdgeCounters = ec.edgeRec.Total()
 	res.VertexCounters = ec.vertexRec.Total()
 	res.EdgeProfile = ec.edgeRec.Profile()
+	if ec.tracer != nil {
+		res.Trace = ec.tracer.Trace()
+	}
 	if pe := ec.runErr.Load(); pe != nil {
 		return res, fmt.Errorf("core: run aborted after %d iterations: %w", res.Iterations, pe)
 	}
@@ -439,8 +545,9 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 }
 
 // selectPull implements the hybrid engine choice: pull for frontier-blind
-// programs and for dense frontiers, push for sparse ones (§2).
-func (ec *ExecContext) selectPull(p apps.Program) bool {
+// programs and for dense frontiers, push for sparse ones (§2). density is
+// the iteration's frontier density, computed once by the driver.
+func (ec *ExecContext) selectPull(p apps.Program, density float64) bool {
 	switch ec.opt.Mode {
 	case EnginePullOnly:
 		return true
@@ -450,7 +557,35 @@ func (ec *ExecContext) selectPull(p apps.Program) bool {
 	if !p.UsesFrontier() {
 		return true
 	}
-	return ec.front.Density() >= ec.opt.PullThreshold
+	return density >= ec.opt.PullThreshold
+}
+
+// traceEdge records a completed edge phase: the merge fold ran inside the
+// edge window on the driver goroutine, so its wall time is subtracted here
+// and reported as its own phase — the sum of per-phase walls then tiles the
+// iteration instead of double-counting the merge.
+func (ec *ExecContext) traceEdge(ph obs.Phase, edgeWall time.Duration, density float64) {
+	if ec.tracer == nil {
+		return
+	}
+	chunks, steals := ec.takePhaseCounters()
+	mergeWall, mergeN := ec.takeMerge()
+	if mergeWall > edgeWall {
+		mergeWall = edgeWall // clock skew guard; keeps both walls nonnegative
+	}
+	ec.tracePhase(ph, edgeWall-mergeWall, chunks, steals, density)
+	if mergeN > 0 {
+		ec.tracePhase(obs.PhaseMerge, mergeWall, 0, 0, density)
+	}
+}
+
+// traceVertex records a completed vertex phase.
+func (ec *ExecContext) traceVertex(wall time.Duration, density float64) {
+	if ec.tracer == nil {
+		return
+	}
+	chunks, steals := ec.takePhaseCounters()
+	ec.tracePhase(obs.PhaseVertex, wall, chunks, steals, density)
 }
 
 // RunVertex executes the Vertex phase: apply aggregates, reset accumulators,
@@ -468,6 +603,7 @@ func RunVertex[P apps.Program](r *ExecContext, p P) {
 			return
 		}
 		defer r.guard()
+		r.countChunk()
 		var c perfmodel.Counters
 		start := time.Now()
 		apply := func(v int) {

@@ -75,6 +75,7 @@ func runEdgePushSparse[P apps.Program](r *ExecContext, p P, front []uint32) []ui
 		r.scatterBuf.Grow(sched.NumChunks(len(front), chunk))
 	}
 	err := r.pool.DynamicForCtx(r.ctx, len(front), chunk, func(rg sched.Range, chunkID, tid int) {
+		r.countChunk()
 		var c perfmodel.Counters
 		var out []sched.Contribution
 		if fz.ordered {
@@ -154,6 +155,7 @@ func runVertexSparse[P apps.Program](r *ExecContext, p P, touched []uint32) {
 			return
 		}
 		defer r.guard()
+		r.countChunk()
 		var c perfmodel.Counters
 		start := time.Now()
 		for i := rg.Lo; i < rg.Hi; i++ {

@@ -23,13 +23,24 @@ type BenchResult struct {
 	VertexNS       int64   `json:"vertex_ns"`
 }
 
+// TraceOverheadResult is one dataset's Fig 5 pull kernel timed with the
+// phase tracer off and on. DESIGN.md §10 budgets tracing at 5% of untraced
+// wall time; Ratio > 1.05 is a regression.
+type TraceOverheadResult struct {
+	Dataset  string  `json:"dataset"`
+	BaseNS   int64   `json:"base_ns"`
+	TracedNS int64   `json:"traced_ns"`
+	Ratio    float64 `json:"ratio"`
+}
+
 // BenchSnapshot is the top-level JSON document emitted by BenchJSON — the
 // perf-trajectory baseline checked in as BENCH_<pr>.json.
 type BenchSnapshot struct {
-	GeneratedUnix int64         `json:"generated_unix"`
-	Workers       int           `json:"workers"`
-	Scale         float64       `json:"scale"`
-	Results       []BenchResult `json:"results"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	Workers       int                   `json:"workers"`
+	Scale         float64               `json:"scale"`
+	Results       []BenchResult         `json:"results"`
+	TraceOverhead []TraceOverheadResult `json:"trace_overhead,omitempty"`
 }
 
 // BenchJSON measures PageRank, Connected Components, and BFS on the config's
@@ -76,6 +87,24 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			})
 		}
 		r.Close()
+
+		// Trace-overhead row: the Fig 5 pull kernel (PageRank, pull-only,
+		// 1000 vectors/chunk) with the phase tracer off, then on.
+		var walls [2]time.Duration
+		for i, trace := range []bool{false, true} {
+			rt := core.NewRunner(cg, core.Options{
+				Workers: cfg.Workers, Mode: core.EnginePullOnly,
+				ChunkVectors: 1000, Trace: trace,
+			})
+			walls[i] = cfg.timeBest(func() { core.Run(rt, apps.NewPageRank(g), cfg.PRIters) })
+			rt.Close()
+		}
+		snap.TraceOverhead = append(snap.TraceOverhead, TraceOverheadResult{
+			Dataset:  string(d.Abbrev()),
+			BaseNS:   walls[0].Nanoseconds(),
+			TracedNS: walls[1].Nanoseconds(),
+			Ratio:    float64(walls[1].Nanoseconds()) / float64(walls[0].Nanoseconds()),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RunRecord is one completed run retained in the trace ring: identity,
+// outcome, and the phase breakdown.
+type RunRecord struct {
+	ID       string        `json:"id"`
+	Graph    string        `json:"graph,omitempty"`
+	App      string        `json:"app,omitempty"`
+	Start    time.Time     `json:"start"`
+	Wall     time.Duration `json:"wall_ns"`
+	Error    string        `json:"error,omitempty"`
+	Trace    RunTrace      `json:"trace"`
+	Workers  int           `json:"workers,omitempty"`
+	Iters    int           `json:"iterations,omitempty"`
+	Vertices int64         `json:"vertices,omitempty"`
+	Edges    int64         `json:"edges,omitempty"`
+}
+
+// TraceRing retains the last N completed run records for GET /v1/runs.
+// Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []RunRecord
+	next int
+	full bool
+}
+
+// NewTraceRing creates a ring holding up to n records (n < 1 is clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]RunRecord, n)}
+}
+
+// Add appends a completed run record, evicting the oldest if full.
+func (r *TraceRing) Add(rec RunRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Get returns the record with the given id, if retained.
+func (r *TraceRing) Get(id string) (RunRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		if r.buf[i].ID == id {
+			return r.buf[i], true
+		}
+	}
+	return RunRecord{}, false
+}
+
+// Recent returns retained records newest-first.
+func (r *TraceRing) Recent() []RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]RunRecord, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len reports how many records are retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

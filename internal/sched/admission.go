@@ -41,8 +41,10 @@ type Admission struct {
 	maxInFlight, maxQueue int
 	// sem holds one token per in-flight unit.
 	sem chan struct{}
-	// queued counts waiters; rejected counts refusals (monotonic).
+	// queued counts waiters; admitted counts successful admissions and
+	// rejected counts refusals (both monotonic).
 	queued   atomic.Int64
+	admitted atomic.Uint64
 	rejected atomic.Uint64
 }
 
@@ -68,12 +70,17 @@ func NewAdmission(maxInFlight, maxQueue int) *Admission {
 // ctx.Err() when the caller's context ends while queued. A nil *Admission
 // admits everything.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
-	if a == nil || a.sem == nil {
+	if a == nil {
+		return func() {}, nil
+	}
+	if a.sem == nil {
+		a.admitted.Add(1)
 		return func() {}, nil
 	}
 	// Fast path: an in-flight slot is free.
 	select {
 	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
 		return a.release, nil
 	default:
 	}
@@ -96,6 +103,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	defer a.queued.Add(-1)
 	select {
 	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
 		return a.release, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -118,6 +126,14 @@ func (a *Admission) Queued() int {
 		return 0
 	}
 	return int(a.queued.Load())
+}
+
+// Admitted returns the cumulative count of successful admissions.
+func (a *Admission) Admitted() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.admitted.Load()
 }
 
 // Rejected returns the cumulative count of overload rejections.

@@ -21,10 +21,12 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Pool is a fixed set of worker goroutines, the stand-in for Grazelle's
@@ -63,6 +65,20 @@ type Pool struct {
 	wake      []chan struct{}
 	closed    atomic.Bool
 	closeOnce sync.Once
+	// metrics, when set, receives per-job timing observations. Held behind
+	// an atomic pointer so the hot path pays one load + nil check when
+	// metrics are off.
+	metrics atomic.Pointer[PoolMetrics]
+}
+
+// PoolMetrics carries the optional scheduler histograms fed by Run: JobWait
+// observes seconds a submitter spent blocked on the active-job cap before
+// its job was published (0 when it sailed through — the count then equals
+// jobs submitted), JobExec observes seconds from publication to barrier
+// completion. Nil histograms are skipped individually.
+type PoolMetrics struct {
+	JobWait *obs.Histogram
+	JobExec *obs.Histogram
 }
 
 // job is one fork-join task: slots virtual thread ids, each executed exactly
@@ -242,6 +258,11 @@ func (p *Pool) finish(j *job) {
 	close(j.fin)
 }
 
+// SetMetrics attaches (or detaches, with nil) the pool's timing histograms.
+// Safe to call concurrently with Run; in-flight jobs may observe either
+// setting.
+func (p *Pool) SetMetrics(m *PoolMetrics) { p.metrics.Store(m) }
+
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
@@ -281,7 +302,12 @@ func (p *Pool) Close() {
 // returns the first panic as a *PanicError. A nil return means every slot
 // ran to completion.
 func (p *Pool) Run(fn func(tid int)) error {
+	m := p.metrics.Load()
 	if p.workers == 1 {
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		var pe *PanicError
 		func() {
 			defer func() {
@@ -292,13 +318,32 @@ func (p *Pool) Run(fn func(tid int)) error {
 			}()
 			fn(0)
 		}()
+		if m != nil {
+			if m.JobWait != nil {
+				m.JobWait.Observe(0)
+			}
+			if m.JobExec != nil {
+				m.JobExec.Observe(time.Since(t0).Seconds())
+			}
+		}
 		if pe != nil {
 			return pe
 		}
 		return nil
 	}
 	j := &job{fn: fn, slots: int64(p.workers), fin: make(chan struct{})}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	p.submit(j)
+	var t1 time.Time
+	if m != nil {
+		t1 = time.Now()
+		if m.JobWait != nil {
+			m.JobWait.Observe(t1.Sub(t0).Seconds())
+		}
+	}
 	for {
 		s := j.next.Add(1) - 1
 		if s >= j.slots {
@@ -308,15 +353,24 @@ func (p *Pool) Run(fn func(tid int)) error {
 	}
 	// Wait for slots claimed by workers: spin briefly (phases are
 	// microseconds), then block.
+	finished := false
 	for spins := 0; spins < spinYields; spins++ {
 		select {
 		case <-j.fin:
-			return j.err()
+			finished = true
 		default:
+		}
+		if finished {
+			break
 		}
 		runtime.Gosched()
 	}
-	<-j.fin
+	if !finished {
+		<-j.fin
+	}
+	if m != nil && m.JobExec != nil {
+		m.JobExec.Observe(time.Since(t1).Seconds())
+	}
 	return j.err()
 }
 

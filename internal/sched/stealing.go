@@ -66,10 +66,14 @@ func (q *stealQueue) empty() bool {
 // which scheduler ran them. A panic in body fails only this loop (claimed
 // chunks are consumed, so the steal sweep still terminates) and is rethrown
 // on the calling goroutine as a *PanicError.
-func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid int)) {
+//
+// The return value is the number of chunks obtained by stealing (claimed
+// from a victim's queue rather than the executor's own) — the load-imbalance
+// signal the phase tracer records per run.
+func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid int)) int64 {
 	numChunks := NumChunks(total, chunkSize)
 	if numChunks == 0 {
-		return
+		return 0
 	}
 	workers := p.workers
 	queues := make([]stealQueue, workers)
@@ -78,6 +82,7 @@ func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid
 		hi := uint32(numChunks * (w + 1) / workers)
 		queues[w].ht.Store(packHT(lo, hi))
 	}
+	var steals atomic.Int64
 	run := func(id int64, tid int) {
 		lo := int(id) * chunkSize
 		hi := lo + chunkSize
@@ -112,8 +117,10 @@ func (p *Pool) StealingFor(total, chunkSize int, body func(r Range, chunkID, tid
 				continue
 			}
 			if id := queues[victim].claimSteal(); id >= 0 {
+				steals.Add(1)
 				run(id, tid)
 			}
 		}
 	}))
+	return steals.Load()
 }

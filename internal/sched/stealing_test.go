@@ -46,7 +46,7 @@ func TestStealingForChunkShapesMatchDynamic(t *testing.T) {
 		return got
 	}
 	dyn := collect(p.DynamicFor)
-	steal := collect(p.StealingFor)
+	steal := collect(func(total, cs int, body func(Range, int, int)) { p.StealingFor(total, cs, body) })
 	if len(dyn) != len(steal) {
 		t.Fatalf("chunk counts differ: %d vs %d", len(dyn), len(steal))
 	}
@@ -66,7 +66,7 @@ func TestStealingForActuallySteals(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
 	var executed atomic.Int32
-	p.StealingFor(64, 1, func(r Range, chunkID, tid int) {
+	steals := p.StealingFor(64, 1, func(r Range, chunkID, tid int) {
 		if chunkID == 0 {
 			time.Sleep(20 * time.Millisecond)
 		}
@@ -75,19 +75,30 @@ func TestStealingForActuallySteals(t *testing.T) {
 	if executed.Load() != 64 {
 		t.Fatalf("executed %d chunks, want 64", executed.Load())
 	}
+	// While the owner of chunk 0 sleeps, the other executor drains its own
+	// queue in microseconds and must steal from the sleeper's.
+	if steals == 0 {
+		t.Error("expected at least one steal with a 20ms-slow chunk")
+	}
+	if steals > 63 {
+		t.Errorf("steals = %d exceeds stealable chunks", steals)
+	}
 }
 
 func TestStealingForSingleWorker(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()
 	sum := 0
-	p.StealingFor(100, 7, func(r Range, chunkID, tid int) {
+	steals := p.StealingFor(100, 7, func(r Range, chunkID, tid int) {
 		for i := r.Lo; i < r.Hi; i++ {
 			sum += i
 		}
 	})
 	if sum != 100*99/2 {
 		t.Errorf("sum = %d", sum)
+	}
+	if steals != 0 {
+		t.Errorf("single worker reported %d steals", steals)
 	}
 }
 

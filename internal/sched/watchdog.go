@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrWatchdogKilled is the cancellation cause a Watchdog attaches when it
@@ -25,10 +27,14 @@ var ErrWatchdogKilled = errors.New("sched: run exceeded watchdog hard limit")
 type Watchdog struct {
 	soft, hard time.Duration
 
-	mu        sync.Mutex
-	runs      map[*watchedRun]struct{}
-	slowTotal uint64
-	hardKills uint64
+	mu   sync.Mutex
+	runs map[*watchedRun]struct{}
+
+	// slowTotal and hardKills are obs counters so a metrics registry can
+	// export the very same cells Stats() reads — the two views cannot
+	// disagree by construction.
+	slowTotal obs.Counter
+	hardKills obs.Counter
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -125,11 +131,11 @@ func (w *Watchdog) scan() {
 				el := now.Sub(r.start)
 				if !r.slow && w.soft > 0 && el > w.soft {
 					r.slow = true
-					w.slowTotal++
+					w.slowTotal.Inc()
 				}
 				if !r.killed && w.hard > 0 && el > w.hard {
 					r.killed = true
-					w.hardKills++
+					w.hardKills.Inc()
 					r.cancel(ErrWatchdogKilled)
 				}
 			}
@@ -147,8 +153,8 @@ func (w *Watchdog) Stats() WatchdogStats {
 	defer w.mu.Unlock()
 	st := WatchdogStats{
 		Active:      len(w.runs),
-		SlowTotal:   w.slowTotal,
-		HardKills:   w.hardKills,
+		SlowTotal:   w.slowTotal.Value(),
+		HardKills:   w.hardKills.Value(),
 		SoftLimitMS: w.soft.Milliseconds(),
 		HardLimitMS: w.hard.Milliseconds(),
 	}
@@ -159,6 +165,24 @@ func (w *Watchdog) Stats() WatchdogStats {
 		}
 	}
 	return st
+}
+
+// SlowTotalCounter exposes the soft-limit crossing counter for metric
+// registration. Nil on a nil watchdog.
+func (w *Watchdog) SlowTotalCounter() *obs.Counter {
+	if w == nil {
+		return nil
+	}
+	return &w.slowTotal
+}
+
+// HardKillsCounter exposes the hard-cancel counter for metric registration.
+// Nil on a nil watchdog.
+func (w *Watchdog) HardKillsCounter() *obs.Counter {
+	if w == nil {
+		return nil
+	}
+	return &w.hardKills
 }
 
 // Close stops the scan goroutine. Tracked runs keep their contexts; no

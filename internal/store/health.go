@@ -87,6 +87,7 @@ func (s *Store) rehydrate(e *entry) (*graph.Graph, error) {
 		if err == nil {
 			s.mu.Lock()
 			s.rehydrateStreak = 0
+			s.rehydrations++
 			s.mu.Unlock()
 			return g, nil
 		}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// This file wires the store's state into an obs.Registry. The store owns the
+// registry because it owns every subsystem worth measuring — the graph
+// registry, the shared scheduler pool, the admission controller, and the
+// watchdog — and the serving layer only adds HTTP- and run-level families on
+// top. Gauges read live store state at scrape time (closures under s.mu);
+// monotonic counts either read the same cells Stats() reports or, for the
+// watchdog, register the watchdog's own counters, so the registry and
+// /v1/stats can never disagree.
+
+// Metrics returns the store's metric registry, for serving at /metrics and
+// for layering additional families above the store.
+func (s *Store) Metrics() *obs.Registry { return s.reg }
+
+// registerMetrics populates the registry. Called once from Open, after the
+// pool, admission controller, and watchdog exist.
+func (s *Store) registerMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	r.GaugeFunc("grazelle_store_graphs", "Registered graphs.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.graphs))
+	})
+	r.GaugeFunc("grazelle_store_graphs_resident", "Registered graphs currently loaded in memory.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, e := range s.graphs {
+			if e.runner != nil {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("grazelle_store_bytes_resident", "Resident bytes of loaded graphs.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.resident)
+	})
+	r.CounterFunc("grazelle_store_evictions_total", "Graphs evicted to stay under the memory budget.", nil, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.evictions
+	})
+	r.CounterFunc("grazelle_store_rehydrations_total", "Successful snapshot rehydrations.", nil, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.rehydrations
+	})
+	r.CounterFunc("grazelle_store_rehydrate_retries_total", "Transient snapshot-load retries.", nil, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.rehydrateRetries
+	})
+	r.CounterFunc("grazelle_store_snapshots_quarantined_total", "Snapshots moved aside as corrupt.", nil, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.quarantined
+	})
+	r.CounterFunc("grazelle_runs_total", "Completed engine runs.", nil, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.runs
+	})
+
+	r.GaugeFunc("grazelle_admission_inflight", "Admitted, unreleased queries.", nil, func() float64 {
+		return float64(s.adm.InFlight())
+	})
+	r.GaugeFunc("grazelle_admission_queued", "Queries waiting for admission.", nil, func() float64 {
+		return float64(s.adm.Queued())
+	})
+	r.CounterFunc("grazelle_admission_admitted_total", "Queries admitted.", nil, s.adm.Admitted)
+	r.CounterFunc("grazelle_admission_rejected_total", "Queries rejected on overload.", nil, s.adm.Rejected)
+
+	r.CounterFunc("grazelle_sched_pool_panics_total", "Job-body panics the worker pool contained.", nil, s.pool.Panics)
+	s.pool.SetMetrics(&sched.PoolMetrics{
+		JobWait: r.Histogram("grazelle_sched_job_wait_seconds", "Seconds a submitter blocked on the active-job cap.", nil, obs.DefTimeBuckets),
+		JobExec: r.Histogram("grazelle_sched_job_exec_seconds", "Seconds from job publication to barrier completion.", nil, obs.DefTimeBuckets),
+	})
+
+	if s.watchdog != nil {
+		// The watchdog's own counter cells: scan() increments, Stats() reads,
+		// and the registry renders one value.
+		r.RegisterCounter("grazelle_watchdog_slow_runs_total", "Runs that crossed the soft wall-clock limit.", nil, s.watchdog.SlowTotalCounter())
+		r.RegisterCounter("grazelle_watchdog_hard_kills_total", "Runs hard-cancelled at the wall-clock limit.", nil, s.watchdog.HardKillsCounter())
+	} else {
+		// Keep the families present (at zero) so scrapes and dashboards see a
+		// stable catalog whether or not a watchdog is configured.
+		r.CounterFunc("grazelle_watchdog_slow_runs_total", "Runs that crossed the soft wall-clock limit.", nil, func() uint64 { return 0 })
+		r.CounterFunc("grazelle_watchdog_hard_kills_total", "Runs hard-cancelled at the wall-clock limit.", nil, func() uint64 { return 0 })
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -113,11 +114,17 @@ type Store struct {
 	runs      uint64
 	closed    bool
 	// rehydrateRetries counts transient rehydration retries (monotonic);
-	// quarantined counts snapshots moved aside as corrupt; rehydrateStreak is
-	// the current run of consecutive exhausted-retry failures feeding Ready.
+	// rehydrations counts successful snapshot loads; quarantined counts
+	// snapshots moved aside as corrupt; rehydrateStreak is the current run
+	// of consecutive exhausted-retry failures feeding Ready.
 	rehydrateRetries uint64
+	rehydrations     uint64
 	quarantined      uint64
 	rehydrateStreak  int
+
+	// reg is the store-owned metric registry (see metrics.go); immutable
+	// after Open.
+	reg *obs.Registry
 }
 
 // entry is one version of a named graph. Fields below the comment are
@@ -188,6 +195,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.SoftRunLimit > 0 || cfg.HardRunLimit > 0 {
 		s.watchdog = sched.NewWatchdog(cfg.SoftRunLimit, cfg.HardRunLimit)
 	}
+	s.registerMetrics()
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			s.watchdog.Close()
@@ -539,10 +547,11 @@ type Stats struct {
 	// Evictions counts budget evictions; Runs counts completed engine runs.
 	Evictions uint64 `json:"evictions"`
 	Runs      uint64 `json:"runs"`
-	// RehydrateRetries counts transient snapshot-load retries; Quarantined
-	// counts snapshots moved aside as corrupt; PoolPanics counts panics the
-	// worker pool contained.
+	// RehydrateRetries counts transient snapshot-load retries; Rehydrations
+	// counts successful snapshot loads; Quarantined counts snapshots moved
+	// aside as corrupt; PoolPanics counts panics the worker pool contained.
 	RehydrateRetries uint64 `json:"rehydrate_retries"`
+	Rehydrations     uint64 `json:"rehydrations"`
 	Quarantined      uint64 `json:"quarantined"`
 	PoolPanics       uint64 `json:"pool_panics"`
 	// Watchdog summarizes the run watchdog (nil when disabled).
@@ -566,6 +575,7 @@ func (s *Store) Stats() Stats {
 		Runs:          s.runs,
 
 		RehydrateRetries: s.rehydrateRetries,
+		Rehydrations:     s.rehydrations,
 		Quarantined:      s.quarantined,
 		PoolPanics:       s.pool.Panics(),
 	}

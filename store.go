@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/store"
 )
@@ -141,6 +142,15 @@ type StoreStats = store.Stats
 
 // Stats returns a consistent snapshot of store load.
 func (s *Store) Stats() StoreStats { return s.s.Stats() }
+
+// Registry is a metric registry with Prometheus text exposition.
+type Registry = obs.Registry
+
+// Metrics returns the store's metric registry: gauges and counters over the
+// graph registry, scheduler pool, admission controller, and watchdog. The
+// counters are the same cells Stats reports, so the two views always agree.
+// Serving layers render it at /metrics and may register additional families.
+func (s *Store) Metrics() *Registry { return s.s.Metrics() }
 
 // Admit gates one query through the admission controller; call the returned
 // release when the query finishes. Overload returns an error matching
