@@ -1,0 +1,319 @@
+package grazelle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// End-to-end tests of the serve-mode query result cache: hit/miss/bypass
+// headers with byte-identical payloads, the coalesced-burst admission
+// accounting the ISSUE's acceptance criteria demand (N identical concurrent
+// requests = exactly 1 run and 1 admission slot, proven by metrics deltas),
+// the /v1/batch endpoint, and invalidation on graph replace.
+
+// rawQuery posts body to /v1/query and returns status, the raw response
+// bytes, and the X-Cache / X-Run-Id headers.
+func rawQuery(t *testing.T, client *http.Client, base, body string) (int, []byte, string, string) {
+	t.Helper()
+	resp, err := client.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Cache"), resp.Header.Get("X-Run-Id")
+}
+
+func TestServeCacheHitBitIdentical(t *testing.T) {
+	base, _, cmd := startServeObs(t, "-d", "C", "-scale", "0.25")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	const q = `{"app":"pr","iters":8,"values":true}`
+	code, miss, xc, runID := rawQuery(t, client, base, q)
+	if code != 200 || xc != "miss" {
+		t.Fatalf("first query: status %d X-Cache %q, want 200 miss", code, xc)
+	}
+	if runID == "" {
+		t.Fatal("miss carries no X-Run-Id")
+	}
+
+	code, hit, xc, hitRunID := rawQuery(t, client, base, q)
+	if code != 200 || xc != "hit" {
+		t.Fatalf("second query: status %d X-Cache %q, want 200 hit", code, xc)
+	}
+	if string(hit) != string(miss) {
+		t.Fatalf("cache hit is not byte-identical to the original response:\n%s\nvs\n%s", hit, miss)
+	}
+	if hitRunID != runID {
+		t.Errorf("hit X-Run-Id %q, want the producing run's %q", hitRunID, runID)
+	}
+
+	// Different canonical params are a different key...
+	if code, _, xc, _ := rawQuery(t, client, base, `{"app":"pr","iters":9,"values":true}`); code != 200 || xc != "miss" {
+		t.Errorf("changed iters: status %d X-Cache %q, want miss", code, xc)
+	}
+	// ...but an ignored param (pr discards root) canonicalizes to the same key.
+	if code, b, xc, _ := rawQuery(t, client, base, `{"app":"pr","iters":8,"root":5,"values":true}`); code != 200 || xc != "hit" {
+		t.Errorf("ignored root param: status %d X-Cache %q, want hit", code, xc)
+	} else if string(b) != string(miss) {
+		t.Error("canonicalized hit payload differs")
+	}
+
+	// no_cache opts a single request out.
+	if code, _, xc, _ := rawQuery(t, client, base, `{"app":"pr","iters":8,"values":true,"no_cache":true}`); code != 200 || xc != "bypass" {
+		t.Errorf("no_cache: status %d X-Cache %q, want bypass", code, xc)
+	}
+}
+
+// TestServeCoalescedBurstOneSlot is the acceptance criterion: N concurrent
+// identical requests consume exactly one run and one admission slot, proven
+// by metrics deltas rather than timing.
+func TestServeCoalescedBurstOneSlot(t *testing.T) {
+	base, _, cmd := startServeObs(t, "-d", "C", "-scale", "0.25", "-max-inflight", "1", "-max-queue", "0")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	before := fetchText(t, client, base+"/metrics")
+	runsBefore, _ := metricSample(t, before, "grazelle_runs_total")
+	admittedBefore, _ := metricSample(t, before, "grazelle_admission_admitted_total")
+	rejectedBefore, _ := metricSample(t, before, "grazelle_admission_rejected_total")
+
+	// Heavy enough that the burst overlaps the single run. With
+	// max-inflight 1 and no queue, any second admission attempt would be
+	// rejected — zero rejections proves the burst used one slot.
+	const n = 8
+	const q = `{"app":"pr","iters":192,"values":true}`
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	states := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/query", "application/json", strings.NewReader(q))
+			if err != nil {
+				t.Errorf("burst %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			codes[i], bodies[i], states[i] = resp.StatusCode, b, resp.Header.Get("X-Cache")
+		}(i)
+	}
+	wg.Wait()
+
+	var hits, misses, coalesced int
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("burst %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("burst %d: payload diverges", i)
+		}
+		switch states[i] {
+		case "hit":
+			hits++
+		case "miss":
+			misses++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Fatalf("burst %d: X-Cache %q", i, states[i])
+		}
+	}
+	if misses != 1 {
+		t.Errorf("burst produced %d misses, want exactly 1 (leader)", misses)
+	}
+	if hits+coalesced != n-1 {
+		t.Errorf("burst: %d hits + %d coalesced, want %d followers", hits, coalesced, n-1)
+	}
+
+	after := fetchText(t, client, base+"/metrics")
+	runsAfter, _ := metricSample(t, after, "grazelle_runs_total")
+	admittedAfter, _ := metricSample(t, after, "grazelle_admission_admitted_total")
+	rejectedAfter, _ := metricSample(t, after, "grazelle_admission_rejected_total")
+	if got := runsAfter - runsBefore; got != 1 {
+		t.Errorf("runs_total delta = %v across an %d-query burst, want 1", got, n)
+	}
+	if got := admittedAfter - admittedBefore; got != 1 {
+		t.Errorf("admission_admitted delta = %v, want 1 slot for the whole burst", got)
+	}
+	if got := rejectedAfter - rejectedBefore; got != 0 {
+		t.Errorf("admission_rejected delta = %v, want 0 (no follower hit admission)", got)
+	}
+	if v, ok := metricSample(t, after, "grazelle_qcache_coalesced_total"); !ok || v != float64(coalesced) {
+		t.Errorf("qcache_coalesced_total = %v, X-Cache headers said %d", v, coalesced)
+	}
+
+	// /v1/stats renders the same cache cells as /metrics.
+	var stats struct {
+		Cache struct {
+			Hits      float64 `json:"hits"`
+			Misses    float64 `json:"misses"`
+			Coalesced float64 `json:"coalesced"`
+			Bytes     float64 `json:"bytes"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(fetchText(t, client, base+"/v1/stats")), &stats); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"grazelle_qcache_hits_total":      stats.Cache.Hits,
+		"grazelle_qcache_misses_total":    stats.Cache.Misses,
+		"grazelle_qcache_coalesced_total": stats.Cache.Coalesced,
+		"grazelle_qcache_bytes":           stats.Cache.Bytes,
+	} {
+		if got, ok := metricSample(t, after, name); !ok || got != want {
+			t.Errorf("%s = %v, /v1/stats cache block says %v", name, got, want)
+		}
+	}
+	if stats.Cache.Bytes <= 0 {
+		t.Error("cache holds no bytes after a cached run")
+	}
+}
+
+func TestServeBatchEndpoint(t *testing.T) {
+	base, _, cmd := startServeObs(t, "-d", "C", "-scale", "0.25")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Warm one entry so the batch sees a hit.
+	if code, _, xc, _ := rawQuery(t, client, base, `{"app":"pr","iters":8}`); code != 200 || xc != "miss" {
+		t.Fatalf("warm query: status %d X-Cache %q", code, xc)
+	}
+
+	batch := `{"queries":[
+		{"app":"pr","iters":8},
+		{"app":"cc"},
+		{"app":"cc"},
+		{"app":"bfs","root":1},
+		{"app":"nope"},
+		{"graph":"missing","app":"pr"}
+	]}`
+	resp, err := client.Post(base+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Results []struct {
+			Status   string          `json:"status"`
+			Code     int             `json:"code"`
+			Error    string          `json:"error"`
+			Response json.RawMessage `json:"response"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("results = %d entries, want 6", len(out.Results))
+	}
+	wantStatus := []string{"hit", "miss", "coalesced", "miss", "error", "error"}
+	for i, want := range wantStatus {
+		if out.Results[i].Status != want {
+			t.Errorf("entry %d status %q, want %q (%s)", i, out.Results[i].Status, want, out.Results[i].Error)
+		}
+	}
+	// The duplicate cc entries share one payload.
+	if string(out.Results[2].Response) == "" || string(out.Results[1].Response) == "" {
+		t.Fatal("cc entries missing responses")
+	}
+	var cc1, cc2 map[string]any
+	json.Unmarshal(out.Results[1].Response, &cc1)
+	json.Unmarshal(out.Results[2].Response, &cc2)
+	if fmt.Sprint(cc1["components"]) != fmt.Sprint(cc2["components"]) || cc1["components"] == nil {
+		t.Errorf("deduped cc entries disagree: %v vs %v", cc1, cc2)
+	}
+	if out.Results[4].Code != 400 {
+		t.Errorf("unknown app entry code %d, want 400", out.Results[4].Code)
+	}
+	if out.Results[5].Code != 404 {
+		t.Errorf("missing graph entry code %d, want 404", out.Results[5].Code)
+	}
+
+	// The batch-computed entries are now cached for single queries too.
+	if code, _, xc, _ := rawQuery(t, client, base, `{"app":"cc"}`); code != 200 || xc != "hit" {
+		t.Errorf("cc after batch: status %d X-Cache %q, want hit", code, xc)
+	}
+}
+
+// TestServeCacheInvalidationOnReplace: replacing a graph over the API makes
+// its cached entries unreachable — the next query recomputes on the new
+// version and may return different bytes.
+func TestServeCacheInvalidationOnReplace(t *testing.T) {
+	base, _, cmd := startServeObs(t)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post("/v1/graphs", `{"name":"g","dataset":"C","scale":0.25}`); code != 200 {
+		t.Fatalf("add graph: status %d", code)
+	}
+	const q = `{"graph":"g","app":"pr","iters":8,"values":true}`
+	if code, _, xc, _ := rawQuery(t, client, base, q); code != 200 || xc != "miss" {
+		t.Fatalf("first query: %d %q", code, xc)
+	}
+	if code, _, xc, _ := rawQuery(t, client, base, q); code != 200 || xc != "hit" {
+		t.Fatalf("warm query: %d %q", code, xc)
+	}
+
+	// Replace with a different graph: the old version's entry must be gone.
+	if code := post("/v1/graphs", `{"name":"g","dataset":"C","scale":0.3}`); code != 200 {
+		t.Fatalf("replace graph: status %d", code)
+	}
+	code, body, xc, _ := rawQuery(t, client, base, q)
+	if code != 200 || xc != "miss" {
+		t.Fatalf("post-replace query: status %d X-Cache %q, want a fresh miss", code, xc)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := m["values"].([]any)
+	if len(vals) == 0 {
+		t.Fatal("post-replace query returned no values")
+	}
+
+	// Metrics observed the invalidation.
+	text := fetchText(t, client, base+"/metrics")
+	if v, ok := metricSample(t, text, "grazelle_qcache_invalidated_total"); !ok || v < 1 {
+		t.Errorf("qcache_invalidated_total = %v, want >= 1", v)
+	}
+}

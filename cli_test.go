@@ -301,8 +301,10 @@ func (sc *serveClient) do(method, path, body string) (int, map[string]any) {
 // graceful shutdown on SIGTERM.
 func TestCLIGrazelleServeStore(t *testing.T) {
 	dataDir := t.TempDir()
+	// -cache-bypass: the 429 loop below repeats one identical query, which
+	// the result cache would otherwise serve without touching admission.
 	base, cmd := startServe(t,
-		"-data-dir", dataDir, "-max-inflight", "1", "-max-queue", "0")
+		"-data-dir", dataDir, "-max-inflight", "1", "-max-queue", "0", "-cache-bypass")
 	killed := false
 	defer func() {
 		if !killed {
@@ -466,9 +468,12 @@ func postJSONRaw(client *http.Client, url, body string) (int, map[string]any, er
 // bit-identical results, and the server must keep serving afterwards —
 // liveness probe green, follow-up query healthy, no leaked admission slots.
 func TestCLIGrazelleServeChaosPanic(t *testing.T) {
+	// -cache-bypass: this drill needs N independent runs so exactly one hits
+	// the single-shot failpoint; coalescing would share one run (and its
+	// panic) across all N clients.
 	base, cmd := startServeEnv(t,
 		[]string{"GRAZELLE_FAILPOINTS=core/chunk=panic*1"},
-		"-d", "C", "-scale", "0.25")
+		"-d", "C", "-scale", "0.25", "-cache-bypass")
 	defer func() {
 		cmd.Process.Kill()
 		cmd.Wait()

@@ -36,6 +36,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "reduced sizes for a fast pass")
 		datasets = flag.String("datasets", "", "comma-free dataset abbreviations, e.g. \"TDU\" (default all)")
 		benchOut = flag.String("bench-json", "", "write a PR/CC/BFS timing snapshot as JSON to this file and exit")
+		cacheAB  = flag.Bool("cache-ab", false, "include query-result-cache cold/warm A/B rows in the -bench-json snapshot")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func run() error {
 		PRIters: *prIters,
 		Repeats: *repeats,
 		Quick:   *quick,
+		CacheAB: *cacheAB,
 	}
 	if *datasets != "" {
 		for _, ch := range *datasets {

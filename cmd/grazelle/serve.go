@@ -20,6 +20,7 @@ import (
 	grazelle "repro"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/qcache"
 )
 
 // serve mode: `grazelle serve` turns the engine into a small JSON-over-HTTP
@@ -43,9 +44,14 @@ import (
 //	POST   /v1/graphs/{name}/snapshot   re-persist a graph to --data-dir
 //	POST   /v1/query            run an application
 //	                            {"graph":"t","app":"pr","iters":16,
-//	                             "root":0,"timeout_ms":500,"values":false}
+//	                             "root":0,"timeout_ms":500,"values":false,
+//	                             "no_cache":false}
+//	POST   /v1/batch            run a list of queries; identical entries are
+//	                            deduped, cache hits served immediately, and
+//	                            the distinct misses run over one pinned
+//	                            store handle ({"queries":[...]})
 //	GET    /metrics             Prometheus text exposition: store, scheduler,
-//	                            admission, watchdog, HTTP, and run families
+//	                            admission, watchdog, cache, HTTP, run families
 //	GET    /v1/runs             recent run records, newest first (?n= bounds)
 //	GET    /v1/runs/{id}        one run's phase trace (404 once aged out)
 //
@@ -53,6 +59,16 @@ import (
 // in /v1/runs/{id} and the structured request log. With -pprof-addr set, a
 // second listener serves net/http/pprof — kept off the public address so
 // profiling is never exposed by default.
+//
+// Query results are cached (internal/qcache) keyed by (graph, store
+// version, app, canonical params) — sound because engines are
+// bit-deterministic and store versions are never reused. Concurrent
+// identical queries coalesce onto one run and one admission slot. X-Cache
+// on each query response reports hit/miss/coalesced/bypass. -cache-budget
+// bounds the cache (0 disables storage, coalescing stays), -cache-bypass
+// disables the subsystem entirely, and "no_cache":true opts one request
+// out. Replacing or deleting a graph invalidates its entries via the
+// store's version-retirement hook.
 //
 // Admission rejections return 429 (queue full) with Retry-After; queries on
 // unknown graphs 404; unloadable graph payloads 422; a degraded store
@@ -63,21 +79,23 @@ import (
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8473", "listen address")
-		threads  = fs.Int("n", 0, "worker threads in the shared pool (0 = GOMAXPROCS)")
-		timeout  = fs.Duration("timeout", 30*time.Second, "maximum per-request timeout")
-		dataset  = fs.String("d", "", "preload a dataset analog as graph \"default\"")
-		scale    = fs.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
-		input    = fs.String("i", "", "preload a graph file pair as graph \"default\"")
-		dataDir  = fs.String("data-dir", "", "snapshot directory (persist graphs across restarts)")
-		memCap   = fs.Int64("mem-budget", 0, "resident graph memory budget in bytes (0 = unlimited)")
-		inflight  = fs.Int("max-inflight", 0, "maximum concurrent queries (0 = unlimited)")
-		maxQueue  = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
-		softLimit = fs.Duration("soft-limit", 0, "watchdog soft run limit: slower queries are counted in /v1/stats (0 = off)")
-		hardLimit = fs.Duration("hard-limit", 0, "watchdog hard run limit: slower queries are cancelled with 503 (0 = off)")
-		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
-		runHist   = fs.Int("run-history", 128, "run trace records retained for /v1/runs")
-		logLevel  = fs.String("log-level", "info", "request log level (debug logs probe/scrape requests too)")
+		addr        = fs.String("addr", "127.0.0.1:8473", "listen address")
+		threads     = fs.Int("n", 0, "worker threads in the shared pool (0 = GOMAXPROCS)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "maximum per-request timeout")
+		dataset     = fs.String("d", "", "preload a dataset analog as graph \"default\"")
+		scale       = fs.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
+		input       = fs.String("i", "", "preload a graph file pair as graph \"default\"")
+		dataDir     = fs.String("data-dir", "", "snapshot directory (persist graphs across restarts)")
+		memCap      = fs.Int64("mem-budget", 0, "resident graph memory budget in bytes (0 = unlimited)")
+		inflight    = fs.Int("max-inflight", 0, "maximum concurrent queries (0 = unlimited)")
+		maxQueue    = fs.Int("max-queue", 0, "queries allowed to wait beyond -max-inflight")
+		softLimit   = fs.Duration("soft-limit", 0, "watchdog soft run limit: slower queries are counted in /v1/stats (0 = off)")
+		hardLimit   = fs.Duration("hard-limit", 0, "watchdog hard run limit: slower queries are cancelled with 503 (0 = off)")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		runHist     = fs.Int("run-history", 128, "run trace records retained for /v1/runs")
+		logLevel    = fs.String("log-level", "info", "request log level (debug logs probe/scrape requests too)")
+		cacheBudget = fs.Int64("cache-budget", 256<<20, "query result cache byte budget (0 = cache nothing, coalescing stays on)")
+		cacheBypass = fs.Bool("cache-bypass", false, "disable the query result cache and coalescing entirely")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +133,14 @@ func runServe(args []string) error {
 		log:        slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
 		ring:       obs.NewTraceRing(*runHist),
 		metrics:    newServeMetrics(st.Metrics()),
+	}
+	if !*cacheBypass {
+		srv.cache = qcache.New(qcache.Config{Budget: *cacheBudget})
+		// The cache's families live in the store's registry and its entries
+		// die with their store version: /metrics, /v1/stats, and the graph
+		// lifecycle all stay in lockstep.
+		srv.cache.RegisterMetrics(st.Metrics())
+		st.OnRetire(srv.cache.InvalidateVersion)
 	}
 
 	switch {
@@ -187,11 +213,12 @@ func runServe(args []string) error {
 // few hundred bytes of JSON.
 const maxBodyBytes = 1 << 20
 
-// server adapts HTTP to the store. It holds no graph state of its own
-// beyond observability: the run-trace ring, the metric handles, and the
-// request logger.
+// server adapts HTTP to the store. Beyond observability state (the
+// run-trace ring, metric handles, request logger) it owns the query result
+// cache; nil cache means -cache-bypass.
 type server struct {
 	store      *grazelle.Store
+	cache      *qcache.Cache
 	maxTimeout time.Duration
 	workers    int
 	log        *slog.Logger
@@ -217,6 +244,7 @@ func (s *server) mux() http.Handler {
 	handle("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	handle("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
 	handle("POST /v1/query", s.handleQuery)
+	handle("POST /v1/batch", s.handleBatch)
 	return s.recoverMiddleware(mux)
 }
 
@@ -254,7 +282,16 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, s.store.Stats())
+		return
+	}
+	// The cache block reads the same counter cells RegisterMetrics exposes,
+	// so this view and /metrics cannot drift.
+	writeJSON(w, http.StatusOK, struct {
+		grazelle.StoreStats
+		Cache qcache.Stats `json:"cache"`
+	}{s.store.Stats(), s.cache.Stats()})
 }
 
 func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -360,30 +397,59 @@ type queryResponse struct {
 	Values any `json:"values,omitempty"`
 }
 
+// queryRequest is the decoded body of /v1/query and each /v1/batch entry.
+type queryRequest struct {
+	Graph     string `json:"graph"`
+	App       string `json:"app"`
+	Iters     int    `json:"iters"`
+	Root      uint32 `json:"root"`
+	TimeoutMS int64  `json:"timeout_ms"`
+	Values    bool   `json:"values"`
+	// NoCache opts this request out of the result cache and coalescing.
+	NoCache bool `json:"no_cache"`
+}
+
+// normalize applies the request defaults and validates the app name.
+func (q *queryRequest) normalize() error {
+	if q.Graph == "" {
+		q.Graph = "default"
+	}
+	if q.Iters <= 0 {
+		q.Iters = 16
+	}
+	switch q.App {
+	case "pr", "wpr", "cc", "bfs", "sssp":
+		return nil
+	default:
+		return fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", q.App)
+	}
+}
+
+// cacheKey builds the request's cache key from the graph's current store
+// version. Timeout is deliberately absent: it shapes how long the caller
+// waits, not what the result is.
+func (s *server) cacheKey(q queryRequest) (qcache.Key, error) {
+	version, err := s.store.Version(q.Graph)
+	if err != nil {
+		return qcache.Key{}, err
+	}
+	return qcache.Key{
+		Graph:   q.Graph,
+		Version: version,
+		App:     q.App,
+		Params:  qcache.CanonicalParams(q.App, q.Iters, int(q.Root), q.Values),
+	}, nil
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var req struct {
-		Graph     string `json:"graph"`
-		App       string `json:"app"`
-		Iters     int    `json:"iters"`
-		Root      uint32 `json:"root"`
-		TimeoutMS int64  `json:"timeout_ms"`
-		Values    bool   `json:"values"`
-	}
+	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Graph == "" {
-		req.Graph = "default"
-	}
-	if req.Iters <= 0 {
-		req.Iters = 16
-	}
-	switch req.App {
-	case "pr", "wpr", "cc", "bfs", "sssp":
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", req.App))
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	timeout := s.maxTimeout
@@ -395,18 +461,50 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	if s.cache == nil || req.NoCache {
+		res, err := s.executeQuery(ctx, req)
+		s.writeQueryResult(w, res, "bypass", err)
+		return
+	}
+	key, err := s.cacheKey(req)
+	if err != nil {
+		writeError(w, acquireStatus(err), err)
+		return
+	}
+	res, outcome, err := s.cache.Do(ctx, key, func(cctx context.Context) (qcache.Result, error) {
+		return s.executeQuery(cctx, req)
+	})
+	s.writeQueryResult(w, res, outcome.String(), err)
+}
+
+// writeQueryResult finishes a single-query response: run-ID and cache-state
+// headers, then the cached/computed payload or the mapped error.
+func (s *server) writeQueryResult(w http.ResponseWriter, res qcache.Result, cacheState string, err error) {
+	if res.RunID != "" {
+		w.Header().Set("X-Run-Id", res.RunID)
+	}
+	w.Header().Set("X-Cache", cacheState)
+	if err != nil {
+		status := queryStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	writePayload(w, http.StatusOK, res.Payload)
+}
+
+// executeQuery is the full uncached query path: admission, graph acquire,
+// then the engine run. It is the compute function a cache flight's leader
+// runs — coalesced identical requests therefore consume exactly one
+// admission slot, and a promoted leader re-admits under its own context.
+func (s *server) executeQuery(ctx context.Context, req queryRequest) (qcache.Result, error) {
 	// Admission first: a rejected query must not touch graph state. 429
 	// tells well-behaved clients to back off and retry.
 	release, err := s.store.Admit(ctx)
 	if err != nil {
-		if errors.Is(err, grazelle.ErrOverloaded) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
-		} else {
-			// Context expired while queued.
-			writeError(w, http.StatusGatewayTimeout, err)
-		}
-		return
+		return qcache.Result{}, err
 	}
 	defer release()
 
@@ -418,22 +516,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	h, err := s.store.Acquire(req.Graph)
 	if err != nil {
-		writeError(w, acquireStatus(err), err)
-		return
+		return qcache.Result{}, err
 	}
 	defer h.Close()
+	return s.runOnHandle(ctx, h, req)
+}
+
+// runOnHandle runs one query over an already-acquired handle, records the
+// run (metrics + trace ring), and serializes the response payload. The
+// returned Result carries the handle's version so the cache indexes it
+// under the version it was actually computed on.
+func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req queryRequest) (qcache.Result, error) {
 	eng := h.Engine()
 
 	// Watchdog tracking: a run past -hard-limit is cancelled through ctx.
 	ctx, done := s.store.TrackRun(ctx)
 	defer done()
 
-	// The run ID goes out as a header before the body so the request log's
-	// instrumentation can pick it up even on error responses.
 	runID := nextRunID()
-	w.Header().Set("X-Run-Id", runID)
 	start := time.Now()
 
+	var err error
 	resp := queryResponse{RunID: runID, Graph: req.Graph, App: req.App}
 	var stats grazelle.Stats
 	switch req.App {
@@ -510,14 +613,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.ring.Add(rec)
 
 	if err != nil {
-		writeError(w, runStatus(ctx, err), err)
-		return
+		// The watchdog cancels the tracked context, not the request's; fold
+		// its cause into the error so status mapping (and coalesced
+		// followers, who never see this context) can recognize the kill.
+		if errors.Is(context.Cause(ctx), grazelle.ErrWatchdogKilled) {
+			err = fmt.Errorf("%w (%v)", grazelle.ErrWatchdogKilled, err)
+		}
+		return qcache.Result{RunID: runID}, err
 	}
 	resp.Iterations = stats.Iterations
 	resp.PullIters = stats.PullIterations
 	resp.PushIters = stats.PushIterations
 	resp.ElapsedMS = stats.Total.Milliseconds()
-	writeJSON(w, http.StatusOK, resp)
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return qcache.Result{RunID: runID}, err
+	}
+	// Match writeJSON's json.Encoder framing so cached and fresh responses
+	// are byte-identical.
+	payload = append(payload, '\n')
+	return qcache.Result{
+		Payload:      payload,
+		RunID:        runID,
+		Version:      h.Version(),
+		Phases:       stats.Phases,
+		TraceDropped: stats.TraceDropped,
+	}, nil
 }
 
 // Sentinel errors for the /v1/runs endpoints.
@@ -546,21 +667,43 @@ func acquireStatus(err error) int {
 	}
 }
 
-// runStatus maps a failed engine run to an HTTP status: a watchdog kill 503
-// (the server chose to stop the run — retrying elsewhere may help), a client
-// deadline 504, a contained panic 500, anything else 400.
-func runStatus(ctx context.Context, err error) int {
-	if errors.Is(context.Cause(ctx), grazelle.ErrWatchdogKilled) {
+// queryStatus maps any failure on the query path — admission, version
+// lookup, acquire, or the run itself — to an HTTP status: overload 429,
+// unknown graph 404, a watchdog kill or degraded store 503, a client
+// deadline 504, a contained panic 500, anything else 400. Coalesced
+// followers share the leader's error, so the mapping depends only on the
+// error value, never on whose context ran the compute.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, grazelle.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, grazelle.ErrWatchdogKilled):
 		return http.StatusServiceUnavailable
-	}
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	case errors.Is(err, grazelle.ErrGraphNotFound), errors.Is(err, grazelle.ErrStoreClosed):
+		return acquireStatus(err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	}
 	var pe *grazelle.PanicError
 	if errors.As(err, &pe) {
 		return http.StatusInternalServerError
 	}
+	var ce *grazelle.CorruptSnapshotError
+	var re *grazelle.RehydrateError
+	if errors.As(err, &ce) || errors.As(err, &re) {
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusBadRequest
+}
+
+// writePayload writes an already-serialized JSON body (the cache's unit of
+// storage) verbatim.
+func writePayload(w http.ResponseWriter, status int, payload []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(payload); err != nil {
+		fmt.Fprintln(os.Stderr, "grazelle: write response:", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

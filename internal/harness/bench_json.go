@@ -41,6 +41,7 @@ type BenchSnapshot struct {
 	Scale         float64               `json:"scale"`
 	Results       []BenchResult         `json:"results"`
 	TraceOverhead []TraceOverheadResult `json:"trace_overhead,omitempty"`
+	CacheAB       []CacheABResult       `json:"cache_ab,omitempty"`
 }
 
 // BenchJSON measures PageRank, Connected Components, and BFS on the config's
@@ -105,6 +106,13 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			TracedNS: walls[1].Nanoseconds(),
 			Ratio:    float64(walls[1].Nanoseconds()) / float64(walls[0].Nanoseconds()),
 		})
+	}
+	if cfg.CacheAB {
+		rows, err := CacheAB(cfg)
+		if err != nil {
+			return err
+		}
+		snap.CacheAB = rows
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

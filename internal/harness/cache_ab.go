@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/qcache"
+	"repro/internal/store"
+)
+
+// CacheABResult is one (dataset, app) row of the serve-mode cache A/B
+// measurement: a cold miss (full engine run + insert) against a warm hit
+// (payload served from cache), plus a coalesced burst of identical
+// concurrent requests showing how many engine runs they cost.
+type CacheABResult struct {
+	Dataset string `json:"dataset"`
+	App     string `json:"app"`
+	// ColdNS is one miss through qcache.Do: acquire, run, marshal, insert.
+	ColdNS int64 `json:"cold_ns"`
+	// WarmNS is the mean per-request time of a hit on the same key.
+	WarmNS  int64   `json:"warm_ns"`
+	Speedup float64 `json:"speedup"`
+	// BurstRequests identical concurrent requests on a fresh key performed
+	// BurstRuns engine runs (single-flight makes this 1) in BurstNS wall.
+	BurstRequests int   `json:"burst_requests"`
+	BurstRuns     int   `json:"burst_runs"`
+	BurstNS       int64 `json:"burst_ns"`
+}
+
+// warmSamples is the number of hits averaged for WarmNS: single hits are
+// sub-microsecond, below the timer's useful resolution.
+const warmSamples = 256
+
+// burstWidth is the number of identical concurrent requests in the
+// coalesced-burst measurement.
+const burstWidth = 16
+
+// CacheAB measures the query result cache cold/warm asymmetry and the
+// coalesced-burst run count over the config's datasets, PR/CC/BFS each,
+// using the same store + qcache composition serve mode wires up.
+func CacheAB(cfg Config) ([]CacheABResult, error) {
+	cfg = cfg.withDefaults()
+	st, err := store.Open(store.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	cache := qcache.New(qcache.Config{Budget: 256 << 20})
+	st.OnRetire(cache.InvalidateVersion)
+
+	var rows []CacheABResult
+	for _, d := range cfg.Datasets {
+		name := string(d.Abbrev())
+		if err := st.Add(name, cfg.DatasetGraph(d)); err != nil {
+			return nil, err
+		}
+		version, err := st.Version(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range []string{"pr", "cc", "bfs"} {
+			row, err := cacheABRow(cfg, st, cache, name, version, d, app)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func cacheABRow(cfg Config, st *store.Store, cache *qcache.Cache, name string, version uint64, d gen.Dataset, app string) (CacheABResult, error) {
+	var runs atomic.Int64
+	compute := func(ctx context.Context) (qcache.Result, error) {
+		runs.Add(1)
+		h, err := st.Acquire(name)
+		if err != nil {
+			return qcache.Result{}, err
+		}
+		defer h.Close()
+		var res core.Result
+		switch app {
+		case "pr":
+			res, err = core.RunCtx(ctx, h.Runner(), apps.NewPageRank(h.Source()), cfg.PRIters)
+		case "cc":
+			res, err = core.RunCtx(ctx, h.Runner(), apps.NewConnComp(), 1<<20)
+		case "bfs":
+			res, err = core.RunCtx(ctx, h.Runner(), apps.NewBFS(0), 1<<20)
+		default:
+			return qcache.Result{}, fmt.Errorf("unknown app %s", app)
+		}
+		if err != nil {
+			return qcache.Result{}, err
+		}
+		payload, err := json.Marshal(res.Props)
+		if err != nil {
+			return qcache.Result{}, err
+		}
+		return qcache.Result{Payload: payload, Version: h.Version()}, nil
+	}
+
+	ctx := context.Background()
+	// Cold: one miss end to end — engine run, marshal, insert.
+	key := qcache.Key{Graph: name, Version: version, App: app,
+		Params: qcache.CanonicalParams(app, cfg.PRIters, 0, false)}
+	start := time.Now()
+	if _, outcome, err := cache.Do(ctx, key, compute); err != nil || outcome != qcache.OutcomeMiss {
+		return CacheABResult{}, fmt.Errorf("%s/%s cold: outcome %v err %v", name, app, outcome, err)
+	}
+	cold := time.Since(start)
+
+	// Warm: hits on the same key, averaged over enough samples to resolve.
+	start = time.Now()
+	for i := 0; i < warmSamples; i++ {
+		if _, outcome, err := cache.Do(ctx, key, compute); err != nil || outcome != qcache.OutcomeHit {
+			return CacheABResult{}, fmt.Errorf("%s/%s warm: outcome %v err %v", name, app, outcome, err)
+		}
+	}
+	warm := time.Since(start) / warmSamples
+
+	// Burst: identical concurrent requests on a fresh key (the values flag
+	// flips so the canonical params differ for every app). Single-flight
+	// should serve all of them with one engine run.
+	burstKey := qcache.Key{Graph: name, Version: version, App: app,
+		Params: qcache.CanonicalParams(app, cfg.PRIters, 0, true)}
+	runs.Store(0)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	start = time.Now()
+	for i := 0; i < burstWidth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cache.Do(ctx, burstKey, compute); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	burst := time.Since(start)
+	if n := failures.Load(); n > 0 {
+		return CacheABResult{}, fmt.Errorf("%s/%s burst: %d requests failed", name, app, n)
+	}
+
+	return CacheABResult{
+		Dataset:       name,
+		App:           app,
+		ColdNS:        cold.Nanoseconds(),
+		WarmNS:        warm.Nanoseconds(),
+		Speedup:       ratio(cold, warm),
+		BurstRequests: burstWidth,
+		BurstRuns:     int(runs.Load()),
+		BurstNS:       burst.Nanoseconds(),
+	}, nil
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCacheABRows(t *testing.T) {
+	cfg := Config{Quick: true, Datasets: []gen.Dataset{gen.AllDatasets[0]}}
+	rows, err := CacheAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (pr, cc, bfs)", len(rows))
+	}
+	for _, r := range rows {
+		if r.ColdNS <= 0 || r.WarmNS <= 0 {
+			t.Errorf("%s/%s: non-positive timings %+v", r.Dataset, r.App, r)
+		}
+		if r.BurstRequests != burstWidth {
+			t.Errorf("%s/%s: burst width %d", r.Dataset, r.App, r.BurstRequests)
+		}
+		// Single-flight: the whole burst costs one engine run.
+		if r.BurstRuns != 1 {
+			t.Errorf("%s/%s: burst of %d performed %d runs, want 1",
+				r.Dataset, r.App, r.BurstRequests, r.BurstRuns)
+		}
+	}
+}
+
+func TestBenchJSONIncludesCacheAB(t *testing.T) {
+	cfg := Config{Quick: true, CacheAB: true, Datasets: []gen.Dataset{gen.AllDatasets[0]}}
+	var buf bytes.Buffer
+	if err := BenchJSON(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.CacheAB) != 3 {
+		t.Fatalf("snapshot cache_ab rows = %d, want 3", len(snap.CacheAB))
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +27,9 @@ type Config struct {
 	Repeats int
 	// Quick shrinks datasets (quarter scale) for fast runs.
 	Quick bool
+	// CacheAB adds the query-result-cache cold/warm A/B rows to BenchJSON
+	// snapshots (see CacheAB).
+	CacheAB bool
 	// Datasets restricts the sweep; nil means all six.
 	Datasets []gen.Dataset
 }
@@ -59,9 +63,15 @@ func (c Config) withDefaults() Config {
 }
 
 // graphCache memoizes generated analogs and their preprocessed forms within
-// one process (experiments share datasets).
-var graphCache = map[string]*graph.Graph{}
-var coreCache = map[string]*core.Graph{}
+// one process (experiments share datasets). cacheMu guards both maps —
+// harness entry points run from concurrent test packages and goroutines. It
+// is held only around map access, not generation, so two first-callers may
+// both generate; the duplicated work is benign, a torn map write is not.
+var (
+	cacheMu    sync.Mutex
+	graphCache = map[string]*graph.Graph{}
+	coreCache  = map[string]*core.Graph{}
+)
 
 func cacheKey(d gen.Dataset, scale float64) string {
 	return string(d.Abbrev()) + ":" + fmtFloat(scale)
@@ -75,22 +85,40 @@ func fmtFloat(f float64) string {
 // DatasetGraph returns the (cached) analog of d at the config's scale.
 func (c Config) DatasetGraph(d gen.Dataset) *graph.Graph {
 	key := cacheKey(d, c.Scale)
-	if g, ok := graphCache[key]; ok {
+	cacheMu.Lock()
+	g, ok := graphCache[key]
+	cacheMu.Unlock()
+	if ok {
 		return g
 	}
-	g := gen.Generate(d, c.Scale)
-	graphCache[key] = g
+	g = gen.Generate(d, c.Scale)
+	cacheMu.Lock()
+	if prior, ok := graphCache[key]; ok {
+		g = prior // a racing generator won; keep one canonical instance
+	} else {
+		graphCache[key] = g
+	}
+	cacheMu.Unlock()
 	return g
 }
 
 // DatasetCoreGraph returns the (cached) preprocessed Grazelle forms.
 func (c Config) DatasetCoreGraph(d gen.Dataset) *core.Graph {
 	key := cacheKey(d, c.Scale)
-	if g, ok := coreCache[key]; ok {
+	cacheMu.Lock()
+	g, ok := coreCache[key]
+	cacheMu.Unlock()
+	if ok {
 		return g
 	}
-	g := core.BuildGraph(c.DatasetGraph(d))
-	coreCache[key] = g
+	g = core.BuildGraph(c.DatasetGraph(d))
+	cacheMu.Lock()
+	if prior, ok := coreCache[key]; ok {
+		g = prior
+	} else {
+		coreCache[key] = g
+	}
+	cacheMu.Unlock()
 	return g
 }
 

@@ -1,0 +1,37 @@
+package qcache
+
+import "repro/internal/obs"
+
+// RegisterMetrics registers the cache's metric families on reg — typically
+// the store's registry, so /metrics and /v1/stats render the same cells.
+// The functions read the same counters Stats snapshots; call once per
+// registry (duplicate families panic by registry contract).
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("grazelle_qcache_hits_total",
+		"Queries served from the result cache.", nil,
+		func() uint64 { return c.Stats().Hits })
+	reg.CounterFunc("grazelle_qcache_misses_total",
+		"Queries that started a fresh compute.", nil,
+		func() uint64 { return c.Stats().Misses })
+	reg.CounterFunc("grazelle_qcache_coalesced_total",
+		"Queries that attached to an in-flight identical compute.", nil,
+		func() uint64 { return c.Stats().Coalesced })
+	reg.CounterFunc("grazelle_qcache_promotions_total",
+		"Followers promoted to leader after a leader's context died.", nil,
+		func() uint64 { return c.Stats().Promotions })
+	reg.CounterFunc("grazelle_qcache_evictions_total",
+		"Entries evicted by the LRU byte budget.", nil,
+		func() uint64 { return c.Stats().Evictions })
+	reg.CounterFunc("grazelle_qcache_invalidated_total",
+		"Entries dropped because their store version retired.", nil,
+		func() uint64 { return c.Stats().Invalidated })
+	reg.CounterFunc("grazelle_qcache_inserts_dropped_total",
+		"Cache inserts abandoned (fault injection, retired version, oversize).", nil,
+		func() uint64 { return c.Stats().InsertsDropped })
+	reg.GaugeFunc("grazelle_qcache_entries",
+		"Resident cache entries.", nil,
+		func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc("grazelle_qcache_bytes",
+		"Bytes held by resident cache entries.", nil,
+		func() float64 { return float64(c.Stats().Bytes) })
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -64,11 +65,12 @@ func NewAdmission(maxInFlight, maxQueue int) *Admission {
 }
 
 // Acquire admits one unit of work, blocking in the wait queue when the
-// in-flight bound is reached. It returns a release function that must be
-// called exactly once when the unit finishes. Errors: a typed
-// *OverloadedError (matching ErrOverloaded) when the queue is also full, or
-// ctx.Err() when the caller's context ends while queued. A nil *Admission
-// admits everything.
+// in-flight bound is reached. It returns a release function to call when the
+// unit finishes; release is idempotent, so layered cleanup paths (deferred
+// release plus an explicit early release on handoff) cannot double-free a
+// slot. Errors: a typed *OverloadedError (matching ErrOverloaded) when the
+// queue is also full, or ctx.Err() when the caller's context ends while
+// queued. A nil *Admission admits everything.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	if a == nil {
 		return func() {}, nil
@@ -81,7 +83,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case a.sem <- struct{}{}:
 		a.admitted.Add(1)
-		return a.release, nil
+		return a.releaseOnce(), nil
 	default:
 	}
 	// Slow path: join the bounded wait queue, or reject.
@@ -104,13 +106,18 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case a.sem <- struct{}{}:
 		a.admitted.Add(1)
-		return a.release, nil
+		return a.releaseOnce(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
-func (a *Admission) release() { <-a.sem }
+// releaseOnce wraps the slot return so calling the release more than once is
+// a no-op rather than a stolen slot.
+func (a *Admission) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-a.sem }) }
+}
 
 // InFlight returns the number of admitted, unreleased units.
 func (a *Admission) InFlight() int {

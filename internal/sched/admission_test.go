@@ -327,3 +327,47 @@ func TestAdmissionQueueFullTypedError(t *testing.T) {
 		t.Errorf("occupancy in error = %+v", oe)
 	}
 }
+
+// TestAdmissionReleaseIdempotent: calling a release more than once returns
+// the slot exactly once. Layered cleanup (a deferred release plus an explicit
+// one on a leadership handoff) must not free a slot another unit now holds.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(2, 0)
+
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	// Double-release of the first slot frees exactly one.
+	rel1()
+	rel1()
+	rel1()
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("InFlight after triple release = %d, want 1", got)
+	}
+
+	// Concurrent duplicate calls are also single-release.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel2()
+		}()
+	}
+	wg.Wait()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after concurrent releases = %d, want 0", got)
+	}
+	if adm := a.Admitted(); adm != 2 {
+		t.Fatalf("Admitted = %d, want 2", adm)
+	}
+}

@@ -113,6 +113,13 @@ type Store struct {
 	evictions uint64
 	runs      uint64
 	closed    bool
+	// nextVersion numbers graph versions: every Add (including a replace and
+	// the cold registrations at Open) gets the next value, so versions are
+	// unique and monotonic across the whole store — a version is never
+	// reused, even when a name is deleted and re-added.
+	nextVersion uint64
+	// onRetire holds the version-retirement subscribers (see OnRetire).
+	onRetire []RetireFunc
 	// rehydrateRetries counts transient rehydration retries (monotonic);
 	// rehydrations counts successful snapshot loads; quarantined counts
 	// snapshots moved aside as corrupt; rehydrateStreak is the current run
@@ -130,11 +137,15 @@ type Store struct {
 // entry is one version of a named graph. Fields below the comment are
 // guarded by Store.mu; rehydration is additionally serialized by load.
 type entry struct {
-	name      string
-	vertices  int
-	edges     int
-	weighted  bool
-	snapshot  string // absolute snapshot path, "" when none
+	name     string
+	vertices int
+	edges    int
+	weighted bool
+	snapshot string // absolute snapshot path, "" when none
+	// version is the store-wide version number assigned when the entry was
+	// registered. Immutable; eviction to cold and rehydration keep it, only
+	// Add-replace and Delete retire it.
+	version uint64
 
 	// load serializes rehydration (single-flight): hold a provisional
 	// refcount before locking it so the entry cannot be evicted under the
@@ -177,6 +188,12 @@ func (h *Handle) Source() *graph.Graph { return h.src }
 // Name returns the graph's registered name.
 func (h *Handle) Name() string { return h.e.name }
 
+// Version returns the store-wide version number of the pinned graph. The
+// value is assigned at Add time and is immutable for the entry's lifetime:
+// eviction to cold and rehydration keep it, so a (name, version) pair fully
+// identifies the graph bytes a query ran against.
+func (h *Handle) Version() uint64 { return h.e.version }
+
 // Close releases the handle's pin.
 func (h *Handle) Close() {
 	h.closeOnce.Do(func() { h.s.release(h.e) })
@@ -214,12 +231,14 @@ func Open(cfg Config) (*Store, error) {
 				s.pool.Close()
 				return nil, fmt.Errorf("store: manifest entry has invalid name %q", me.Name)
 			}
+			s.nextVersion++
 			s.graphs[me.Name] = &entry{
 				name:     me.Name,
 				vertices: me.Vertices,
 				edges:    me.Edges,
 				weighted: me.Weighted,
 				snapshot: filepath.Join(cfg.DataDir, me.File),
+				version:  s.nextVersion,
 			}
 		}
 	}
@@ -303,19 +322,75 @@ func (s *Store) Add(name string, g *graph.Graph) error {
 		}
 		e.snapshot = path
 	}
+	var retired *entry
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		if old := s.graphs[name]; old != nil {
+			s.retireLocked(old)
+			retired = old
+		}
+		s.nextVersion++
+		e.version = s.nextVersion
+		s.graphs[name] = e
+		s.resident += e.bytes
+		e.lastUsed = s.tick()
+		s.ensureBudgetLocked()
+		return s.syncManifestLocked()
+	}()
+	if retired != nil {
+		s.notifyRetire(retired.name, retired.version)
+	}
+	return err
+}
+
+// RetireFunc observes one graph version leaving the registry (see OnRetire).
+type RetireFunc func(name string, version uint64)
+
+// OnRetire registers fn to be called every time a graph version is retired —
+// replaced by a new Add or removed by Delete. Retirement means the (name,
+// version) pair will never be served again (new Acquires only see newer
+// versions), so any state derived from it — most importantly cached query
+// results — can be dropped. Eviction to cold does not retire: the entry
+// keeps its version across rehydration.
+//
+// fn runs synchronously on the goroutine performing the Add or Delete, after
+// the registry update, with no store locks held; it must be safe for
+// concurrent use. Register subscribers before serving traffic.
+func (s *Store) OnRetire(fn RetireFunc) {
+	s.mu.Lock()
+	s.onRetire = append(s.onRetire, fn)
+	s.mu.Unlock()
+}
+
+// notifyRetire invokes the retirement subscribers without holding s.mu.
+func (s *Store) notifyRetire(name string, version uint64) {
+	s.mu.Lock()
+	subs := s.onRetire
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(name, version)
+	}
+}
+
+// Version returns the current version number of the named graph without
+// loading it: the lookup is metadata-only, so a cold (evicted) graph is not
+// rehydrated. The pair (name, Version) is the cache key prefix for
+// version-addressable query results.
+func (s *Store) Version(name string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	if old := s.graphs[name]; old != nil {
-		s.retireLocked(old)
+	e := s.graphs[name]
+	if e == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	s.graphs[name] = e
-	s.resident += e.bytes
-	e.lastUsed = s.tick()
-	s.ensureBudgetLocked()
-	return s.syncManifestLocked()
+	return e.version, nil
 }
 
 // Acquire returns a refcounted handle on the named graph, rehydrating it
@@ -369,22 +444,30 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 // Delete unregisters the named graph and removes its snapshot. In-flight
 // handles keep working; memory is released when the last one closes.
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	var retired *entry
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		e := s.graphs[name]
+		if e == nil {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		delete(s.graphs, name)
+		s.retireLocked(e)
+		retired = e
+		if e.snapshot != "" {
+			os.Remove(e.snapshot)
+			e.snapshot = ""
+		}
+		return s.syncManifestLocked()
+	}()
+	if retired != nil {
+		s.notifyRetire(retired.name, retired.version)
 	}
-	e := s.graphs[name]
-	if e == nil {
-		return fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	delete(s.graphs, name)
-	s.retireLocked(e)
-	if e.snapshot != "" {
-		os.Remove(e.snapshot)
-		e.snapshot = ""
-	}
-	return s.syncManifestLocked()
+	return err
 }
 
 // Snapshot persists the named graph's current version to the data
@@ -490,6 +573,9 @@ type GraphInfo struct {
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Weighted bool   `json:"weighted"`
+	// Version is the store-wide version number of the current entry; it
+	// changes on every Add (replace) and is never reused.
+	Version uint64 `json:"version"`
 	// Resident reports whether the graph is loaded in memory;
 	// MemoryBytes is its resident footprint (0 when cold).
 	Resident    bool  `json:"resident"`
@@ -516,6 +602,7 @@ func (s *Store) List() []GraphInfo {
 			Vertices:    e.vertices,
 			Edges:       e.edges,
 			Weighted:    e.weighted,
+			Version:     e.version,
 			Resident:    e.runner != nil,
 			MemoryBytes: e.bytes,
 			Snapshotted: e.snapshot != "",

@@ -3,6 +3,7 @@ package grazelle
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os/exec"
@@ -130,6 +131,11 @@ func TestServeMetricsEndToEnd(t *testing.T) {
 		"grazelle_watchdog_slow_runs_total",
 		"grazelle_http_request_seconds",
 		"grazelle_http_responses_total",
+		"grazelle_qcache_hits_total",
+		"grazelle_qcache_misses_total",
+		"grazelle_qcache_coalesced_total",
+		"grazelle_qcache_evictions_total",
+		"grazelle_qcache_bytes",
 	} {
 		if !strings.Contains(before, "# TYPE "+fam+" ") {
 			t.Errorf("family %s missing from /metrics", fam)
@@ -277,9 +283,10 @@ func TestServeStatsMatchesMetrics(t *testing.T) {
 	}()
 	client := &http.Client{Timeout: 30 * time.Second}
 
+	// Distinct iteration counts so each query is a cache miss and a real run.
 	for i := 0; i < 3; i++ {
 		resp, err := client.Post(base+"/v1/query", "application/json",
-			strings.NewReader(`{"app":"pr","iters":4}`))
+			strings.NewReader(fmt.Sprintf(`{"app":"pr","iters":%d}`, 4+i)))
 		if err != nil {
 			t.Fatal(err)
 		}

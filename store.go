@@ -130,6 +130,18 @@ func (s *Store) Delete(name string) error { return s.s.Delete(name) }
 // Snapshot re-persists the named graph to the data directory on demand.
 func (s *Store) Snapshot(name string) error { return s.s.Snapshot(name) }
 
+// Version returns the named graph's current version. Versions are minted
+// monotonically per store and never reused: Add-replace assigns a fresh one,
+// while eviction to cold and rehydration keep it. The lookup is metadata-only
+// — it never rehydrates a cold graph. A (name, version, query) triple fully
+// addresses a result, which is what makes query caching sound.
+func (s *Store) Version(name string) (uint64, error) { return s.s.Version(name) }
+
+// OnRetire registers fn to be called whenever a graph version is retired —
+// replaced by Add or removed by Delete (eviction does not retire). Callbacks
+// run outside store locks and must be safe for concurrent use.
+func (s *Store) OnRetire(fn func(name string, version uint64)) { s.s.OnRetire(fn) }
+
 // StoreGraphInfo describes one registered graph.
 type StoreGraphInfo = store.GraphInfo
 
@@ -209,6 +221,10 @@ func (h *StoreHandle) Graph() *Graph { return h.e.g }
 
 // Name returns the graph's registered name.
 func (h *StoreHandle) Name() string { return h.h.Name() }
+
+// Version returns the store version this handle pins. It is stable for the
+// handle's lifetime, even after the graph is replaced or deleted.
+func (h *StoreHandle) Version() uint64 { return h.h.Version() }
 
 // Close releases the handle's pin. Idempotent.
 func (h *StoreHandle) Close() { h.h.Close() }
