@@ -64,6 +64,47 @@ func TestCLIGrazellePageRank(t *testing.T) {
 	}
 }
 
+func TestCLIGrazelleListApps(t *testing.T) {
+	// -a list enumerates the registry without needing a graph at all.
+	out, err := runCLI(t, "grazelle", "-a", "list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, name := range []string{"pr", "wpr", "cc", "bfs", "sssp", "tc", "kcore", "lp", "ppr"} {
+		if !strings.Contains(out, name+" ") && !strings.Contains(out, name+"\n") {
+			t.Errorf("-a list missing app %q:\n%s", name, out)
+		}
+	}
+	for _, want := range []string{"params:", "(default 16)", "weighted graph required"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-a list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIGrazelleRegistryApps(t *testing.T) {
+	// The registry-era apps run end to end through the CLI with their
+	// registered summary lines.
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-a", "tc"}, "Triangles: "},
+		{[]string{"-a", "kcore", "-k", "2"}, "In k-core: "},
+		{[]string{"-a", "lp", "-N", "4"}, "Labels: "},
+		{[]string{"-a", "ppr", "-N", "8", "-r", "1"}, "PPR Sum: "},
+	} {
+		args := append([]string{"-d", "C", "-scale", "0.25"}, tc.args...)
+		out, err := runCLI(t, "grazelle", args...)
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", tc.args, err, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%v output missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
 func TestCLIGrazelleRejectsBadFlags(t *testing.T) {
 	if out, err := runCLI(t, "grazelle"); err == nil {
 		t.Errorf("no input accepted:\n%s", out)

@@ -80,8 +80,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = batchItem{Status: "error", Code: http.StatusBadRequest, Error: err.Error()}
 			continue
 		}
-		id := fmt.Sprintf("%s|%s|%s|%t", q.Graph, q.App,
-			qcache.CanonicalParams(q.App, q.Iters, int(q.Root), q.Values), q.NoCache)
+		id := fmt.Sprintf("%s|%s|%s|%t", q.Graph, q.App, canonicalQuery(q), q.NoCache)
 		if sl, ok := seen[id]; ok {
 			sl.indexes = append(sl.indexes, i)
 			continue

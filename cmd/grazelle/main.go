@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,19 +39,24 @@ func run() error {
 		input   = flag.String("i", "", "input graph file pair base path (required unless -d)")
 		dataset = flag.String("d", "", "generate a dataset analog instead of loading (C,D,L,T,F,U or full name)")
 		scale   = flag.Float64("scale", 1.0, "dataset analog scale factor (with -d)")
-		app     = flag.String("a", "pr", "application: pr, cc, bfs, sssp, wpr")
+		app     = flag.String("a", "pr", "application by registry name, or \"list\" to enumerate")
 		threads = flag.Int("n", 0, "total worker threads (0 = GOMAXPROCS)")
-		iters   = flag.Int("N", 1, "PageRank iterations")
+		iters   = flag.Int("N", 1, "iteration count for iteration-bounded apps")
 		gran    = flag.Int("s", 0, "scheduling granularity in edge vectors per chunk (0 = 32 chunks/thread)")
 		sockets = flag.Int("u", 1, "simulated NUMA socket count")
 		output  = flag.String("o", "", "write per-vertex results to this file")
-		root    = flag.Uint("r", 0, "root vertex for bfs/sssp")
+		root    = flag.Uint("r", 0, "root vertex for rooted apps (bfs, sssp, ppr)")
+		kcore   = flag.Int("k", 2, "core threshold for kcore")
 		variant = flag.String("variant", "sa", "pull variant: sa, trad, tradna, outer")
 		mode    = flag.String("engine", "hybrid", "engine mode: hybrid, pull, push")
 		scalar  = flag.Bool("scalar", false, "disable the vectorized kernels")
 		record  = flag.Bool("counters", false, "collect and print execution counters")
 	)
 	flag.Parse()
+
+	if strings.ToLower(*app) == "list" {
+		return listApps()
+	}
 
 	var g *grazelle.Graph
 	var err error
@@ -101,63 +107,19 @@ func run() error {
 	e := grazelle.NewEngine(g, opt)
 	defer e.Close()
 
-	var stats grazelle.Stats
-	var writeOut func(w *bufio.Writer)
-	switch strings.ToLower(*app) {
-	case "pr":
-		res := e.PageRank(*iters)
-		stats = res.Stats
-		fmt.Printf("PageRank Sum: %.12f\n", res.Sum)
-		writeOut = func(w *bufio.Writer) {
-			for v, r := range res.Ranks {
-				fmt.Fprintf(w, "%d %.12g\n", v, r)
-			}
-		}
-	case "wpr":
-		res, err := e.WeightedRank(*iters)
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("WeightedRank Sum: %.12f\n", res.Sum)
-		writeOut = func(w *bufio.Writer) {
-			for v, r := range res.Ranks {
-				fmt.Fprintf(w, "%d %.12g\n", v, r)
-			}
-		}
-	case "cc":
-		res := e.ConnectedComponents()
-		stats = res.Stats
-		fmt.Printf("Components: %d\n", res.NumComponents())
-		writeOut = func(w *bufio.Writer) {
-			for v, c := range res.Components {
-				fmt.Fprintf(w, "%d %d\n", v, c)
-			}
-		}
-	case "bfs":
-		res := e.BFS(uint32(*root))
-		stats = res.Stats
-		fmt.Printf("Reachable: %d of %d\n", res.Reachable(), g.NumVertices())
-		writeOut = func(w *bufio.Writer) {
-			for v, p := range res.Parents {
-				fmt.Fprintf(w, "%d %d\n", v, p)
-			}
-		}
-	case "sssp":
-		res, err := e.SSSP(uint32(*root))
-		if err != nil {
-			return err
-		}
-		stats = res.Stats
-		fmt.Printf("Reached: %d of %d\n", res.Finite(), g.NumVertices())
-		writeOut = func(w *bufio.Writer) {
-			for v, d := range res.Dist {
-				fmt.Fprintf(w, "%d %g\n", v, d)
-			}
-		}
-	default:
-		return fmt.Errorf("unknown application %q", *app)
+	// Params flow through the registry entry's schema: fields the app
+	// ignores are dropped, and -N keeps its historical default of 1
+	// iteration (the ZeroUnused path, not Normalize, so an explicit value
+	// is always honored).
+	res, err := e.Run(context.Background(), strings.ToLower(*app),
+		grazelle.Params{Iters: *iters, Root: uint32(*root), K: *kcore})
+	if err != nil {
+		return err
 	}
+	for _, st := range res.Summary() {
+		fmt.Printf("%s: %s\n", st.Label, st.Text)
+	}
+	stats := res.Stats
 
 	fmt.Printf("Iterations: %d (pull %d, push %d)\n",
 		stats.Iterations, stats.PullIterations, stats.PushIterations)
@@ -171,18 +133,45 @@ func run() error {
 			c.LocalAccesses, c.RemoteAccesses)
 	}
 
-	if *output != "" && writeOut != nil {
+	if *output != "" {
 		f, err := os.Create(*output)
 		if err != nil {
 			return err
 		}
 		w := bufio.NewWriter(f)
-		writeOut(w)
+		for v := 0; v < g.NumVertices(); v++ {
+			fmt.Fprintf(w, "%d %s\n", v, res.VertexText(v))
+		}
 		if err := w.Flush(); err != nil {
 			f.Close()
 			return err
 		}
 		return f.Close()
+	}
+	return nil
+}
+
+// listApps prints the registry: one line per app with its parameter schema.
+func listApps() error {
+	for _, info := range grazelle.Apps() {
+		params := "-"
+		if len(info.Params) > 0 {
+			parts := make([]string, 0, len(info.Params))
+			for _, p := range info.Params {
+				if d, ok := info.Defaults[p]; ok {
+					parts = append(parts, fmt.Sprintf("%s (default %d)", p, d))
+				} else {
+					parts = append(parts, p)
+				}
+			}
+			params = strings.Join(parts, ", ")
+		}
+		weighted := ""
+		if info.NeedsWeights {
+			weighted = " [weighted graph required]"
+		}
+		fmt.Printf("%-6s %-22s params: %s%s\n       %s\n",
+			info.Name, info.Title, params, weighted, info.Description)
 	}
 	return nil
 }

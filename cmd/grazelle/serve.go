@@ -18,6 +18,7 @@ import (
 	"time"
 
 	grazelle "repro"
+	"repro/internal/apps"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/qcache"
@@ -36,6 +37,7 @@ import (
 //	GET    /healthz             liveness probe
 //	GET    /readyz              readiness: store open, rehydration not wedged
 //	GET    /v1/stats            store load: graphs, bytes, admission counters
+//	GET    /v1/apps             registered applications with parameter schemas
 //	GET    /v1/graphs           list graphs (resident and cold)
 //	POST   /v1/graphs           load or generate a graph
 //	                            {"name":"t","dataset":"T","scale":1.0} or
@@ -44,8 +46,8 @@ import (
 //	POST   /v1/graphs/{name}/snapshot   re-persist a graph to --data-dir
 //	POST   /v1/query            run an application
 //	                            {"graph":"t","app":"pr","iters":16,
-//	                             "root":0,"timeout_ms":500,"values":false,
-//	                             "no_cache":false}
+//	                             "root":0,"k":2,"timeout_ms":500,
+//	                             "values":false,"no_cache":false}
 //	POST   /v1/batch            run a list of queries; identical entries are
 //	                            deduped, cache hits served immediately, and
 //	                            the distinct misses run over one pinned
@@ -59,6 +61,13 @@ import (
 // in /v1/runs/{id} and the structured request log. With -pprof-addr set, a
 // second listener serves net/http/pprof — kept off the public address so
 // profiling is never exposed by default.
+//
+// Apps are resolved through the registry (internal/apps): any registered
+// application — pr, wpr, cc, bfs, sssp, tc, kcore, lp, ppr, or an
+// out-of-tree registration — is queryable by name, with GET /v1/apps
+// enumerating names and parameter schemas. Request fields an app's schema
+// ignores are zeroed before cache-key derivation, so requests differing
+// only in ignored fields share one cache entry.
 //
 // Query results are cached (internal/qcache) keyed by (graph, store
 // version, app, canonical params) — sound because engines are
@@ -237,6 +246,7 @@ func (s *server) mux() http.Handler {
 	handle("GET /readyz", s.handleReady)
 	handle("GET /metrics", s.store.Metrics().Handler().ServeHTTP)
 	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/apps", s.handleApps)
 	handle("GET /v1/runs", s.handleRuns)
 	handle("GET /v1/runs/{id}", s.handleRunByID)
 	handle("GET /v1/graphs", s.handleListGraphs)
@@ -377,52 +387,58 @@ func (s *server) handleSnapshotGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"snapshotted": name})
 }
 
-// queryResponse is the JSON shape of a /v1/query result. Exactly one of the
-// per-application summary fields is set; Values carries per-vertex output
-// only when the request asked for it.
-type queryResponse struct {
-	// RunID keys this run's trace in GET /v1/runs/{id} and the request log.
-	RunID      string `json:"run_id"`
-	Graph      string `json:"graph"`
-	App        string `json:"app"`
-	Iterations int    `json:"iterations"`
-	PullIters  int    `json:"pull_iterations"`
-	PushIters  int    `json:"push_iterations"`
-	ElapsedMS  int64  `json:"elapsed_ms"`
-
-	RankSum    *float64 `json:"rank_sum,omitempty"`
-	Components *int     `json:"components,omitempty"`
-	Reachable  *int     `json:"reachable,omitempty"`
-
-	Values any `json:"values,omitempty"`
+// handleApps enumerates the registered applications with their parameter
+// schemas — the same registry the query path dispatches through, so the
+// listing cannot drift from what is runnable.
+func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"apps": grazelle.Apps()})
 }
 
 // queryRequest is the decoded body of /v1/query and each /v1/batch entry.
+// Iters, Root, and K are the universal parameter fields; each app reads the
+// subset its registered schema declares and the rest are zeroed out of the
+// cache key.
 type queryRequest struct {
 	Graph     string `json:"graph"`
 	App       string `json:"app"`
 	Iters     int    `json:"iters"`
 	Root      uint32 `json:"root"`
+	K         int    `json:"k"`
 	TimeoutMS int64  `json:"timeout_ms"`
 	Values    bool   `json:"values"`
 	// NoCache opts this request out of the result cache and coalescing.
 	NoCache bool `json:"no_cache"`
 }
 
-// normalize applies the request defaults and validates the app name.
+// normalize validates the app against the registry and rewrites the
+// parameter fields to their canonical form: fields the app's schema ignores
+// are zeroed, used fields left unset get the registered defaults.
 func (q *queryRequest) normalize() error {
 	if q.Graph == "" {
 		q.Graph = "default"
 	}
-	if q.Iters <= 0 {
-		q.Iters = 16
+	ent, err := apps.Lookup(q.App)
+	if err != nil {
+		return err
 	}
-	switch q.App {
-	case "pr", "wpr", "cc", "bfs", "sssp":
-		return nil
-	default:
-		return fmt.Errorf("unknown app %q (want pr, wpr, cc, bfs, sssp)", q.App)
+	p := ent.Normalize(apps.Params{Iters: q.Iters, Root: q.Root, K: q.K})
+	q.Iters, q.Root, q.K = p.Iters, p.Root, p.K
+	return nil
+}
+
+// canonicalQuery renders a (normalized) request's canonical parameter
+// string from the app's registered schema, plus the values flag — which is
+// a response-shape parameter, not an app parameter, so it is appended here
+// rather than registered.
+func canonicalQuery(q queryRequest) string {
+	ent, err := apps.Lookup(q.App)
+	if err != nil {
+		// normalize validated the app already; an unknown app here means the
+		// caller skipped it, and a unique key degrades to cache misses.
+		return fmt.Sprintf("app=%s&values=%t", q.App, q.Values)
 	}
+	p := ent.Canonical(apps.Params{Iters: q.Iters, Root: q.Root, K: q.K})
+	return fmt.Sprintf("%s&values=%t", p, q.Values)
 }
 
 // cacheKey builds the request's cache key from the graph's current store
@@ -437,7 +453,7 @@ func (s *server) cacheKey(q queryRequest) (qcache.Key, error) {
 		Graph:   q.Graph,
 		Version: version,
 		App:     q.App,
-		Params:  qcache.CanonicalParams(q.App, q.Iters, int(q.Root), q.Values),
+		Params:  canonicalQuery(q),
 	}, nil
 }
 
@@ -536,59 +552,10 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 	runID := nextRunID()
 	start := time.Now()
 
-	var err error
-	resp := queryResponse{RunID: runID, Graph: req.Graph, App: req.App}
+	res, err := eng.Run(ctx, req.App, grazelle.Params{Iters: req.Iters, Root: req.Root, K: req.K})
 	var stats grazelle.Stats
-	switch req.App {
-	case "pr":
-		var res grazelle.PageRankResult
-		res, err = eng.PageRankCtx(ctx, req.Iters)
-		resp.RankSum = &res.Sum
+	if res != nil {
 		stats = res.Stats
-		if req.Values {
-			resp.Values = res.Ranks
-		}
-	case "wpr":
-		var res grazelle.PageRankResult
-		res, err = eng.WeightedRankCtx(ctx, req.Iters)
-		resp.RankSum = &res.Sum
-		stats = res.Stats
-		if req.Values {
-			resp.Values = res.Ranks
-		}
-	case "cc":
-		var res grazelle.ComponentsResult
-		res, err = eng.ConnectedComponentsCtx(ctx)
-		if res.Components != nil {
-			n := res.NumComponents()
-			resp.Components = &n
-		}
-		stats = res.Stats
-		if req.Values {
-			resp.Values = res.Components
-		}
-	case "bfs":
-		var res grazelle.BFSResult
-		res, err = eng.BFSCtx(ctx, req.Root)
-		if res.Parents != nil {
-			n := res.Reachable()
-			resp.Reachable = &n
-		}
-		stats = res.Stats
-		if req.Values {
-			resp.Values = res.Parents
-		}
-	case "sssp":
-		var res grazelle.SSSPResult
-		res, err = eng.SSSPCtx(ctx, req.Root)
-		if res.Dist != nil {
-			n := res.Finite()
-			resp.Reachable = &n
-		}
-		stats = res.Stats
-		if req.Values {
-			resp.Values = res.Dist
-		}
 	}
 	// Record the run — success or failure — before responding: the wall
 	// time feeds the run histograms and the trace lands in the ring where
@@ -621,10 +588,24 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 		}
 		return qcache.Result{RunID: runID}, err
 	}
-	resp.Iterations = stats.Iterations
-	resp.PullIters = stats.PullIterations
-	resp.PushIters = stats.PushIterations
-	resp.ElapsedMS = stats.Total.Milliseconds()
+	// The response is assembled as a map so the summary keys come from the
+	// registry entry instead of a hardwired struct; json.Marshal sorts map
+	// keys, so cached and fresh responses stay byte-identical.
+	resp := map[string]any{
+		"run_id":          runID,
+		"graph":           req.Graph,
+		"app":             req.App,
+		"iterations":      stats.Iterations,
+		"pull_iterations": stats.PullIterations,
+		"push_iterations": stats.PushIterations,
+		"elapsed_ms":      stats.Total.Milliseconds(),
+	}
+	for _, st := range res.Summary() {
+		resp[st.Key] = st.Value
+	}
+	if req.Values {
+		resp["values"] = res.Values()
+	}
 	payload, err := json.Marshal(resp)
 	if err != nil {
 		return qcache.Result{RunID: runID}, err

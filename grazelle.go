@@ -275,6 +275,87 @@ func statsOf(res core.Result) Stats {
 	}
 }
 
+// Params is the universal application parameter record (see apps.Params):
+// each app reads the subset of fields its registry schema declares and
+// ignores the rest.
+type Params = apps.Params
+
+// AppStat is one summary statistic of a generic run.
+type AppStat = apps.Stat
+
+// AppInfo describes one registered application: name, parameter schema,
+// defaults, and whether it requires edge weights.
+type AppInfo = apps.Info
+
+// Apps enumerates the registered applications, sorted by name. This is the
+// source of truth the CLI's `-a list` and serve's GET /v1/apps render.
+func Apps() []AppInfo {
+	entries := apps.All()
+	out := make([]AppInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// AppResult holds the output of a generic Run: raw property lanes plus the
+// registry entry's serializers for turning them into summary statistics,
+// per-vertex value vectors, and text.
+type AppResult struct {
+	// App is the registry name the run dispatched to.
+	App string
+	// Params are the normalized parameters the run used.
+	Params Params
+	// Props are the raw 64-bit property lanes (app-specific encoding; use
+	// Summary/Values/VertexText to decode).
+	Props []uint64
+	// Stats summarizes the run.
+	Stats Stats
+
+	entry apps.Entry
+}
+
+// Summary returns the run's headline statistics (e.g. PageRank's rank sum).
+func (r *AppResult) Summary() []AppStat { return r.entry.Summary(r.Params, r.Props) }
+
+// Values returns the JSON-facing per-vertex value vector ([]float64 ranks,
+// []uint32 labels, []int64 parents, ... — app-dependent).
+func (r *AppResult) Values() any { return r.entry.Values(r.Props) }
+
+// VertexText renders vertex v's value as text (the CLI's -o format).
+func (r *AppResult) VertexText(v int) string { return r.entry.VertexText(r.Props, v) }
+
+// Run executes a registered application by name. Params fields the app's
+// schema ignores are zeroed; fields it reads are used as given (so an
+// explicit Iters of 0 runs zero iterations — callers wanting schema
+// defaults applied should normalize via the registry first, as the CLI and
+// serve do). Like the Ctx variants, cancellation stops the run within one
+// scheduler chunk; on mid-run errors the partial result is returned
+// alongside the error. A nil result means the run never started (unknown
+// app, invalid params, or an unweighted graph for a weighted app).
+func (e *Engine) Run(ctx context.Context, app string, p Params) (*AppResult, error) {
+	ent, err := apps.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	p = ent.ZeroUnused(p)
+	if ent.NeedsWeights && !e.g.Weighted() {
+		return nil, fmt.Errorf("grazelle: %s requires a weighted graph", ent.Title)
+	}
+	prog, err := ent.New(e.g.src, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunCtx(ctx, e.r, prog, ent.MaxIters(p))
+	return &AppResult{
+		App:    app,
+		Params: p,
+		Props:  res.Props,
+		Stats:  statsOf(res),
+		entry:  ent,
+	}, err
+}
+
 // PageRankResult holds damped PageRank output.
 type PageRankResult struct {
 	// Ranks is the per-vertex rank vector.
@@ -284,6 +365,17 @@ type PageRankResult struct {
 	Sum float64
 	// Stats summarizes the run.
 	Stats Stats
+}
+
+func rankResult(res *AppResult, err error) (PageRankResult, error) {
+	if res == nil {
+		return PageRankResult{}, err
+	}
+	return PageRankResult{
+		Ranks: apps.Ranks(res.Props),
+		Sum:   apps.RankSum(res.Props),
+		Stats: res.Stats,
+	}, err
 }
 
 // PageRank runs iters iterations of damped (0.85) PageRank with
@@ -298,12 +390,7 @@ func (e *Engine) PageRank(iters int) PageRankResult {
 // returns the ranks of the last completed iteration alongside a non-nil
 // error wrapping ctx.Err().
 func (e *Engine) PageRankCtx(ctx context.Context, iters int) (PageRankResult, error) {
-	res, err := core.RunCtx(ctx, e.r, apps.NewPageRank(e.g.src), iters)
-	return PageRankResult{
-		Ranks: apps.Ranks(res.Props),
-		Sum:   apps.RankSum(res.Props),
-		Stats: statsOf(res),
-	}, err
+	return rankResult(e.Run(ctx, "pr", Params{Iters: iters}))
 }
 
 // WeightedRank runs the Collaborative-Filtering-like weighted rank kernel
@@ -316,15 +403,7 @@ func (e *Engine) WeightedRank(iters int) (PageRankResult, error) {
 // WeightedRankCtx is WeightedRank with cancellation at scheduler-chunk
 // granularity (see PageRankCtx).
 func (e *Engine) WeightedRankCtx(ctx context.Context, iters int) (PageRankResult, error) {
-	if !e.g.Weighted() {
-		return PageRankResult{}, fmt.Errorf("grazelle: WeightedRank requires a weighted graph")
-	}
-	res, err := core.RunCtx(ctx, e.r, apps.NewWeightedRank(e.g.src), iters)
-	return PageRankResult{
-		Ranks: apps.Ranks(res.Props),
-		Sum:   apps.RankSum(res.Props),
-		Stats: statsOf(res),
-	}, err
+	return rankResult(e.Run(ctx, "wpr", Params{Iters: iters}))
 }
 
 // ComponentsResult holds Connected Components output.
@@ -346,8 +425,11 @@ func (e *Engine) ConnectedComponents() ComponentsResult {
 // ConnectedComponentsCtx is ConnectedComponents with cancellation at
 // scheduler-chunk granularity (see PageRankCtx).
 func (e *Engine) ConnectedComponentsCtx(ctx context.Context) (ComponentsResult, error) {
-	res, err := core.RunCtx(ctx, e.r, apps.NewConnComp(), 1<<30)
-	return ComponentsResult{Components: apps.Components(res.Props), Stats: statsOf(res)}, err
+	res, err := e.Run(ctx, "cc", Params{})
+	if res == nil {
+		return ComponentsResult{}, err
+	}
+	return ComponentsResult{Components: apps.Components(res.Props), Stats: res.Stats}, err
 }
 
 // NoParent marks an unreached vertex in BFSResult.Parents.
@@ -371,16 +453,11 @@ func (e *Engine) BFS(root uint32) BFSResult {
 // BFSCtx is BFS with cancellation at scheduler-chunk granularity (see
 // PageRankCtx).
 func (e *Engine) BFSCtx(ctx context.Context, root uint32) (BFSResult, error) {
-	res, err := core.RunCtx(ctx, e.r, apps.NewBFS(root), 1<<30)
-	parents := make([]int64, len(res.Props))
-	for i, p := range res.Props {
-		if p == apps.NoParent {
-			parents[i] = NoParent
-		} else {
-			parents[i] = int64(p)
-		}
+	res, err := e.Run(ctx, "bfs", Params{Root: root})
+	if res == nil {
+		return BFSResult{}, err
 	}
-	return BFSResult{Parents: parents, Stats: statsOf(res)}, err
+	return BFSResult{Parents: apps.Parents(res.Props), Stats: res.Stats}, err
 }
 
 // SSSPResult holds Single-Source Shortest Paths output.
@@ -401,11 +478,11 @@ func (e *Engine) SSSP(root uint32) (SSSPResult, error) {
 // SSSPCtx is SSSP with cancellation at scheduler-chunk granularity (see
 // PageRankCtx).
 func (e *Engine) SSSPCtx(ctx context.Context, root uint32) (SSSPResult, error) {
-	if !e.g.Weighted() {
-		return SSSPResult{}, fmt.Errorf("grazelle: SSSP requires a weighted graph")
+	res, err := e.Run(ctx, "sssp", Params{Root: root})
+	if res == nil {
+		return SSSPResult{}, err
 	}
-	res, err := core.RunCtx(ctx, e.r, apps.NewSSSP(root), 1<<30)
-	return SSSPResult{Dist: apps.Distances(res.Props), Stats: statsOf(res)}, err
+	return SSSPResult{Dist: apps.Distances(res.Props), Stats: res.Stats}, err
 }
 
 // Reachable reports how many vertices a BFS result visited.

@@ -1,0 +1,195 @@
+package apps_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Registry conformance suite: the bar every registered application must
+// clear before it is servable. For each entry, on small analogs of the
+// paper's T/U/D datasets:
+//
+//	(a) the engine's 1-worker output agrees with the entry's sequential
+//	    reference implementation (exact for integer lanes, 1e-9 relative
+//	    for float lanes — references accumulate in a different order);
+//	(b) 2- and 4-worker runs are bit-identical to the 1-worker run, with
+//	    ChunkVectors pinned because the default chunk layout derives from
+//	    the worker count (see internal/core/determinism_test.go).
+//
+// The suite iterates apps.All(), so a future registration cannot land
+// without passing the same bar — this test is the CI registry-conformance
+// job. Run under -race in the race shard.
+
+// conformanceGraphs returns the T/U/D analogs at test scale, plus a
+// weighted copy for NeedsWeights apps.
+func conformanceGraphs() map[string]*graph.Graph {
+	out := map[string]*graph.Graph{}
+	for _, d := range []gen.Dataset{gen.Twitter, gen.UK2007, gen.DimacsUSA} {
+		out[string(d.Abbrev())] = gen.Generate(d, 0.05)
+	}
+	return out
+}
+
+func conformanceParams(ent apps.Entry) apps.Params {
+	return ent.Normalize(apps.Params{Iters: 4, Root: 1, K: 3})
+}
+
+func runConformance(t *testing.T, cg *core.Graph, g *graph.Graph, ent apps.Entry, p apps.Params, workers int) []uint64 {
+	t.Helper()
+	r := core.NewRunner(cg, core.Options{Workers: workers, ChunkVectors: 16})
+	defer r.Close()
+	prog, err := ent.New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Run(r, prog, ent.MaxIters(p)).Props
+}
+
+func TestRegistryConformance(t *testing.T) {
+	graphs := conformanceGraphs()
+	for _, ent := range apps.All() {
+		t.Run(ent.Name, func(t *testing.T) {
+			for name, base := range graphs {
+				t.Run(name, func(t *testing.T) {
+					g := base
+					if ent.NeedsWeights {
+						g = gen.AddUniformWeights(g, 42)
+					}
+					p := conformanceParams(ent)
+					cg := core.BuildGraph(g)
+
+					// (a) reference agreement at one worker.
+					ref := runConformance(t, cg, g, ent, p, 1)
+					want := ent.Reference(g, p)
+					if len(want) != len(ref) {
+						t.Fatalf("reference length %d, engine %d", len(want), len(ref))
+					}
+					for v := range want {
+						if ent.FloatLanes {
+							a, b := math.Float64frombits(ref[v]), math.Float64frombits(want[v])
+							if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) {
+								continue
+							}
+							if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(b)) {
+								t.Fatalf("lane[%d] = %v, reference %v", v, a, b)
+							}
+						} else if ref[v] != want[v] {
+							t.Fatalf("lane[%d] = %#x, reference %#x", v, ref[v], want[v])
+						}
+					}
+
+					// (b) bit-identical across worker counts.
+					for _, workers := range []int{2, 4} {
+						got := runConformance(t, cg, g, ent, p, workers)
+						for v := range ref {
+							if got[v] != ref[v] {
+								t.Fatalf("w=%d lane[%d] = %#x, w=1 has %#x (first divergence)",
+									workers, v, got[v], ref[v])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRegistrySummaryStatsSane spot-checks that each entry's serializers
+// hold together on real output: Summary returns at least one stat with a
+// nonempty key/label/text, Values returns a vector of NumVertices length,
+// and VertexText renders without panicking.
+func TestRegistrySummaryStatsSane(t *testing.T) {
+	g := gen.Generate(gen.Twitter, 0.05)
+	cg := core.BuildGraph(g)
+	for _, ent := range apps.All() {
+		t.Run(ent.Name, func(t *testing.T) {
+			gg := g
+			if ent.NeedsWeights {
+				gg = gen.AddUniformWeights(g, 42)
+			}
+			p := conformanceParams(ent)
+			ccg := cg
+			if ent.NeedsWeights {
+				ccg = core.BuildGraph(gg)
+			}
+			props := runConformance(t, ccg, gg, ent, p, 2)
+			stats := ent.Summary(p, props)
+			if len(stats) == 0 {
+				t.Fatal("Summary returned no stats")
+			}
+			for _, st := range stats {
+				if st.Key == "" || st.Label == "" || st.Text == "" {
+					t.Errorf("incomplete stat %+v", st)
+				}
+			}
+			if n := vectorLen(t, ent.Values(props)); n != gg.NumVertices {
+				t.Errorf("Values length %d, want %d", n, gg.NumVertices)
+			}
+			for _, v := range []int{0, gg.NumVertices - 1} {
+				if ent.VertexText(props, v) == "" {
+					t.Errorf("empty VertexText for vertex %d", v)
+				}
+			}
+		})
+	}
+}
+
+func vectorLen(t *testing.T, v any) int {
+	t.Helper()
+	switch vec := v.(type) {
+	case []float64:
+		return len(vec)
+	case []uint32:
+		return len(vec)
+	case []uint64:
+		return len(vec)
+	case []int64:
+		return len(vec)
+	default:
+		t.Fatalf("unexpected Values type %T", v)
+		return 0
+	}
+}
+
+// TestRegistryWeightedAppsRejectUnweighted pins the NeedsWeights flag to
+// actual program behavior: every app that does not declare NeedsWeights
+// must construct and run on an unweighted graph.
+func TestRegistryWeightedAppsRejectUnweighted(t *testing.T) {
+	g := gen.Generate(gen.DimacsUSA, 0.05)
+	cg := core.BuildGraph(g)
+	for _, ent := range apps.All() {
+		if ent.NeedsWeights {
+			continue
+		}
+		t.Run(ent.Name, func(t *testing.T) {
+			p := conformanceParams(ent)
+			props := runConformance(t, cg, g, ent, p, 1)
+			if len(props) != g.NumVertices {
+				t.Fatalf("props length %d", len(props))
+			}
+		})
+	}
+}
+
+// TestRegistryRootValidation ensures rooted apps reject out-of-range roots
+// at construction instead of panicking mid-run.
+func TestRegistryRootValidation(t *testing.T) {
+	g := gen.Generate(gen.DimacsUSA, 0.05)
+	for _, ent := range apps.All() {
+		if ent.Uses&apps.ParamRoot == 0 {
+			continue
+		}
+		t.Run(ent.Name, func(t *testing.T) {
+			p := conformanceParams(ent)
+			p.Root = uint32(g.NumVertices)
+			if _, err := ent.New(g, p); err == nil {
+				t.Error("out-of-range root accepted")
+			}
+		})
+	}
+}

@@ -71,3 +71,10 @@ func (s *SSSP) FusedKind() FusedKind { return FusedMinPropPlusW }
 
 // FusedScale implements Fused.
 func (s *SSSP) FusedScale() []float64 { return nil }
+
+// FusedKind implements Fused: personalization changes only the Vertex phase,
+// so the Edge phase is PageRank's rank-sum kernel unchanged.
+func (p *PersonalizedPageRank) FusedKind() FusedKind { return FusedRankSum }
+
+// FusedScale implements Fused.
+func (p *PersonalizedPageRank) FusedScale() []float64 { return p.invOutDeg }

@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry's canonical-parameter derivation is the cache-key soundness
+// contract: two requests that differ only in fields an app ignores MUST
+// render identically (they would coalesce to one run), and two requests
+// that differ in a field the app reads MUST render differently (they are
+// different runs). The table is driven off the registry itself, so a newly
+// registered app is covered automatically.
+
+func TestCanonicalZeroesIgnoredFields(t *testing.T) {
+	base := Params{Iters: 5, Root: 1, K: 3}
+	for _, ent := range All() {
+		t.Run(ent.Name, func(t *testing.T) {
+			want := ent.Canonical(base)
+			// Varying an ignored field must not move the key.
+			for field, bump := range map[ParamField]Params{
+				ParamIters: {Iters: 9, Root: base.Root, K: base.K},
+				ParamRoot:  {Iters: base.Iters, Root: 7, K: base.K},
+				ParamK:     {Iters: base.Iters, Root: base.Root, K: 8},
+			} {
+				if ent.Uses&field != 0 {
+					continue
+				}
+				if got := ent.Canonical(bump); got != want {
+					t.Errorf("ignored field %b changed key: %q vs %q", field, got, want)
+				}
+			}
+			// Varying a used field must move the key.
+			for field, bump := range map[ParamField]Params{
+				ParamIters: {Iters: 6, Root: base.Root, K: base.K},
+				ParamRoot:  {Iters: base.Iters, Root: 2, K: base.K},
+				ParamK:     {Iters: base.Iters, Root: base.Root, K: 4},
+			} {
+				if ent.Uses&field == 0 {
+					continue
+				}
+				if got := ent.Canonical(bump); got == want {
+					t.Errorf("used field %b did not change key %q", field, got)
+				}
+			}
+		})
+	}
+}
+
+func TestCanonicalAppliesDefaults(t *testing.T) {
+	for _, ent := range All() {
+		if got, want := ent.Canonical(Params{}), ent.Canonical(ent.Defaults); got != want {
+			t.Errorf("%s: unset params render %q, defaults render %q", ent.Name, got, want)
+		}
+	}
+}
+
+func TestNormalizeZeroUnusedContract(t *testing.T) {
+	p := Params{Iters: 5, Root: 1, K: 3}
+	for _, ent := range All() {
+		z := ent.ZeroUnused(p)
+		if ent.Uses&ParamIters == 0 && z.Iters != 0 {
+			t.Errorf("%s: unused Iters survived ZeroUnused", ent.Name)
+		}
+		if ent.Uses&ParamRoot == 0 && z.Root != 0 {
+			t.Errorf("%s: unused Root survived ZeroUnused", ent.Name)
+		}
+		if ent.Uses&ParamK == 0 && z.K != 0 {
+			t.Errorf("%s: unused K survived ZeroUnused", ent.Name)
+		}
+		n := ent.Normalize(Params{})
+		if ent.Uses&ParamIters != 0 && n.Iters != ent.Defaults.Iters {
+			t.Errorf("%s: Normalize left Iters %d, want default %d", ent.Name, n.Iters, ent.Defaults.Iters)
+		}
+		if ent.Uses&ParamK != 0 && n.K != ent.Defaults.K {
+			t.Errorf("%s: Normalize left K %d, want default %d", ent.Name, n.K, ent.Defaults.K)
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	want := []string{"bfs", "cc", "kcore", "lp", "ppr", "pr", "sssp", "tc", "wpr"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least the nine built-ins %v", got, want)
+	}
+	for _, name := range want {
+		ent, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if ent.Name != name {
+			t.Errorf("Lookup(%q).Name = %q", name, ent.Name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown app succeeded")
+	} else if !strings.Contains(err.Error(), "unknown app") || !strings.Contains(err.Error(), "pr") {
+		t.Errorf("unknown-app error %q should name the registered apps", err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Names() not sorted: %v", got)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Entry{}); err == nil {
+		t.Error("registering an empty entry succeeded")
+	}
+	if err := Register(All()[0]); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: err = %v", err)
+	}
+	ent := All()[0]
+	ent.Name = "incomplete-test-entry"
+	ent.Reference = nil
+	if err := Register(ent); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("incomplete registration: err = %v", err)
+	}
+}
+
+func TestInfoSchemas(t *testing.T) {
+	schema := func(name string) Info {
+		ent, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ent.Info()
+	}
+	if got := schema("pr"); len(got.Params) != 1 || got.Params[0] != "iters" || got.Defaults["iters"] != 16 {
+		t.Errorf("pr schema = %+v", got)
+	}
+	if got := schema("cc"); len(got.Params) != 0 || got.NeedsWeights {
+		t.Errorf("cc schema = %+v", got)
+	}
+	if got := schema("kcore"); len(got.Params) != 1 || got.Params[0] != "k" || got.Defaults["k"] != 2 {
+		t.Errorf("kcore schema = %+v", got)
+	}
+	if got := schema("ppr"); len(got.Params) != 2 {
+		t.Errorf("ppr schema = %+v", got)
+	}
+	for _, name := range []string{"wpr", "sssp"} {
+		if !schema(name).NeedsWeights {
+			t.Errorf("%s schema should require weights", name)
+		}
+	}
+	for _, name := range []string{"tc", "kcore", "lp", "ppr", "pr", "cc", "bfs"} {
+		if schema(name).NeedsWeights {
+			t.Errorf("%s schema should not require weights", name)
+		}
+	}
+}

@@ -33,6 +33,18 @@ type TraceOverheadResult struct {
 	Ratio    float64 `json:"ratio"`
 }
 
+// RegistryABResult is one (dataset, app) A/B row comparing the direct typed
+// constructor path with registry dispatch (Lookup + Entry.New + the generic
+// run). The indirection is one map lookup and an interface-typed
+// constructor per run, so Ratio should sit at 1.0 within noise.
+type RegistryABResult struct {
+	Dataset    string  `json:"dataset"`
+	App        string  `json:"app"`
+	DirectNS   int64   `json:"direct_ns"`
+	RegistryNS int64   `json:"registry_ns"`
+	Ratio      float64 `json:"ratio"`
+}
+
 // BenchSnapshot is the top-level JSON document emitted by BenchJSON — the
 // perf-trajectory baseline checked in as BENCH_<pr>.json.
 type BenchSnapshot struct {
@@ -41,13 +53,29 @@ type BenchSnapshot struct {
 	Scale         float64               `json:"scale"`
 	Results       []BenchResult         `json:"results"`
 	TraceOverhead []TraceOverheadResult `json:"trace_overhead,omitempty"`
+	RegistryAB    []RegistryABResult    `json:"registry_ab,omitempty"`
 	CacheAB       []CacheABResult       `json:"cache_ab,omitempty"`
 }
 
+// registryBenchApps are the registry-dispatched apps benchmarked on the
+// paper's T/U/D analogs alongside the direct PR/CC/BFS rows.
+var registryBenchApps = []string{"tc", "kcore", "lp", "ppr"}
+
+// registryABApps are the hot-path apps the registry indirection A/B covers.
+var registryABApps = []string{"pr", "cc", "bfs"}
+
+// tudDataset reports whether d is one of the Table 1 T/U/D analogs the new
+// per-app rows cover.
+func tudDataset(abbrev string) bool {
+	return abbrev == "T" || abbrev == "U" || abbrev == "D"
+}
+
 // BenchJSON measures PageRank, Connected Components, and BFS on the config's
-// datasets with the paper-default engine and writes one JSON document to w.
-// Timing follows the harness convention: best of Config.Repeats, and
-// per-iteration time is total/iterations (the Fig 11 metric).
+// datasets with the paper-default engine — plus, on the T/U/D analogs, the
+// registry-dispatched tc/kcore/lp/ppr apps and a direct-vs-registry A/B of
+// the PR/CC/BFS hot path — and writes one JSON document to w. Timing
+// follows the harness convention: best of Config.Repeats, and per-iteration
+// time is total/iterations (the Fig 11 metric).
 func BenchJSON(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	snap := BenchSnapshot{
@@ -68,6 +96,28 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			{"cc", func() core.Result { return core.Run(r, apps.NewConnComp(), 1<<20) }},
 			{"bfs", func() core.Result { return core.Run(r, apps.NewBFS(0), 1<<20) }},
 		}
+		// The four registry-era apps ride the same Fig 5 harness on the
+		// T/U/D analogs, dispatched exactly the way serve does: Lookup,
+		// Normalize, Entry.New. Programs with heavyweight constructors
+		// (tc's adjacency build) are constructed outside the timed region —
+		// the rows measure the engine, not preprocessing.
+		if tudDataset(string(d.Abbrev())) {
+			for _, name := range registryBenchApps {
+				ent, err := apps.Lookup(name)
+				if err != nil {
+					return err
+				}
+				p := ent.Normalize(apps.Params{Iters: cfg.PRIters})
+				prog, err := ent.New(g, p)
+				if err != nil {
+					return err
+				}
+				max := ent.MaxIters(p)
+				cases = append(cases, appCase{name, func() core.Result {
+					return core.Run(r, prog, max)
+				}})
+			}
+		}
 		for _, c := range cases {
 			var res core.Result
 			best := cfg.timeBest(func() { res = c.run() })
@@ -86,6 +136,39 @@ func BenchJSON(cfg Config, w io.Writer) error {
 				EdgeNS:         res.EdgeTime.Nanoseconds(),
 				VertexNS:       res.VertexTime.Nanoseconds(),
 			})
+		}
+
+		// Registry-indirection A/B on the hot path: the direct typed
+		// constructors against Lookup + Entry.New for the same runs.
+		if tudDataset(string(d.Abbrev())) {
+			direct := map[string]func() core.Result{
+				"pr":  func() core.Result { return core.Run(r, apps.NewPageRank(g), cfg.PRIters) },
+				"cc":  func() core.Result { return core.Run(r, apps.NewConnComp(), 1<<20) },
+				"bfs": func() core.Result { return core.Run(r, apps.NewBFS(0), 1<<20) },
+			}
+			for _, name := range registryABApps {
+				ent, err := apps.Lookup(name)
+				if err != nil {
+					return err
+				}
+				p := ent.Normalize(apps.Params{Iters: cfg.PRIters})
+				run := direct[name]
+				directNS := cfg.timeBest(func() { run() }).Nanoseconds()
+				viaNS := cfg.timeBest(func() {
+					prog, err := ent.New(g, p)
+					if err != nil {
+						return
+					}
+					core.Run(r, prog, ent.MaxIters(p))
+				}).Nanoseconds()
+				snap.RegistryAB = append(snap.RegistryAB, RegistryABResult{
+					Dataset:    string(d.Abbrev()),
+					App:        name,
+					DirectNS:   directNS,
+					RegistryNS: viaNS,
+					Ratio:      float64(viaNS) / float64(directNS),
+				})
+			}
 		}
 		r.Close()
 

@@ -77,6 +77,11 @@ func CacheAB(cfg Config) ([]CacheABResult, error) {
 }
 
 func cacheABRow(cfg Config, st *store.Store, cache *qcache.Cache, name string, version uint64, d gen.Dataset, app string) (CacheABResult, error) {
+	ent, err := apps.Lookup(app)
+	if err != nil {
+		return CacheABResult{}, err
+	}
+	params := ent.Normalize(apps.Params{Iters: cfg.PRIters})
 	var runs atomic.Int64
 	compute := func(ctx context.Context) (qcache.Result, error) {
 		runs.Add(1)
@@ -85,17 +90,11 @@ func cacheABRow(cfg Config, st *store.Store, cache *qcache.Cache, name string, v
 			return qcache.Result{}, err
 		}
 		defer h.Close()
-		var res core.Result
-		switch app {
-		case "pr":
-			res, err = core.RunCtx(ctx, h.Runner(), apps.NewPageRank(h.Source()), cfg.PRIters)
-		case "cc":
-			res, err = core.RunCtx(ctx, h.Runner(), apps.NewConnComp(), 1<<20)
-		case "bfs":
-			res, err = core.RunCtx(ctx, h.Runner(), apps.NewBFS(0), 1<<20)
-		default:
-			return qcache.Result{}, fmt.Errorf("unknown app %s", app)
+		prog, err := ent.New(h.Source(), params)
+		if err != nil {
+			return qcache.Result{}, err
 		}
+		res, err := core.RunCtx(ctx, h.Runner(), prog, ent.MaxIters(params))
 		if err != nil {
 			return qcache.Result{}, err
 		}
@@ -109,7 +108,7 @@ func cacheABRow(cfg Config, st *store.Store, cache *qcache.Cache, name string, v
 	ctx := context.Background()
 	// Cold: one miss end to end — engine run, marshal, insert.
 	key := qcache.Key{Graph: name, Version: version, App: app,
-		Params: qcache.CanonicalParams(app, cfg.PRIters, 0, false)}
+		Params: ent.Canonical(params) + "&values=false"}
 	start := time.Now()
 	if _, outcome, err := cache.Do(ctx, key, compute); err != nil || outcome != qcache.OutcomeMiss {
 		return CacheABResult{}, fmt.Errorf("%s/%s cold: outcome %v err %v", name, app, outcome, err)
@@ -129,7 +128,7 @@ func cacheABRow(cfg Config, st *store.Store, cache *qcache.Cache, name string, v
 	// flips so the canonical params differ for every app). Single-flight
 	// should serve all of them with one engine run.
 	burstKey := qcache.Key{Graph: name, Version: version, App: app,
-		Params: qcache.CanonicalParams(app, cfg.PRIters, 0, true)}
+		Params: ent.Canonical(params) + "&values=true"}
 	runs.Store(0)
 	var wg sync.WaitGroup
 	var failures atomic.Int64

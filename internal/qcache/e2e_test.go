@@ -16,9 +16,9 @@ import (
 // the graph makes the old version's entries unreachable. Run under -race in
 // the CI race shard.
 
-// runApp executes app on a fresh handle and returns the full per-vertex
-// result serialized to JSON — only deterministic fields, so byte comparison
-// is meaningful.
+// runApp executes app on a fresh handle through the generic registry path
+// and returns the full per-vertex result serialized to JSON — only
+// deterministic fields, so byte comparison is meaningful.
 func runApp(t *testing.T, st *grazelle.Store, graph, app string) qcache.Result {
 	t.Helper()
 	h, err := st.Acquire(graph)
@@ -26,29 +26,13 @@ func runApp(t *testing.T, st *grazelle.Store, graph, app string) qcache.Result {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	eng := h.Engine()
-	var body any
-	switch app {
-	case "pr":
-		res, err := eng.PageRankCtx(context.Background(), 12)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body = map[string]any{"sum": res.Sum, "ranks": res.Ranks}
-	case "cc":
-		res, err := eng.ConnectedComponentsCtx(context.Background())
-		if err != nil {
-			t.Fatal(err)
-		}
-		body = map[string]any{"n": res.NumComponents(), "components": res.Components}
-	case "bfs":
-		res, err := eng.BFSCtx(context.Background(), 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body = map[string]any{"reachable": res.Reachable(), "parents": res.Parents}
-	default:
-		t.Fatalf("unknown app %s", app)
+	res, err := h.Engine().Run(context.Background(), app, grazelle.Params{Iters: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{"values": res.Values()}
+	for _, st := range res.Summary() {
+		body[st.Key] = st.Value
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -81,7 +65,7 @@ func TestCacheHitBitIdenticalAcrossApps(t *testing.T) {
 	keys := map[string]qcache.Key{}
 	for _, app := range []string{"pr", "cc", "bfs"} {
 		k := qcache.Key{Graph: "g", Version: v1, App: app,
-			Params: qcache.CanonicalParams(app, 12, 0, true)}
+			Params: "iters=12&k=0&root=0&values=true"}
 		keys[app] = k
 
 		first, outcome, err := cache.Do(context.Background(), k,
@@ -140,7 +124,7 @@ func TestCacheHitBitIdenticalAcrossApps(t *testing.T) {
 
 	// A query against the new version is a miss and computes on v2's graph.
 	k := qcache.Key{Graph: "g", Version: v2, App: "pr",
-		Params: qcache.CanonicalParams("pr", 12, 0, true)}
+		Params: "iters=12&k=0&root=0&values=true"}
 	res, outcome, err := cache.Do(context.Background(), k,
 		func(context.Context) (qcache.Result, error) { return runApp(t, st, "g", "pr"), nil })
 	if err != nil || outcome != qcache.OutcomeMiss || len(res.Payload) == 0 {

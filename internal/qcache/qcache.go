@@ -14,7 +14,6 @@ package qcache
 
 import (
 	"container/list"
-	"fmt"
 	"sync"
 
 	"repro/internal/fault"
@@ -27,26 +26,13 @@ type Key struct {
 	// will be) computed on.
 	Graph   string
 	Version uint64
-	// App is the engine program ("pr", "cc", ...); Params the canonical
-	// parameter rendering (see CanonicalParams).
+	// App is the engine program ("pr", "cc", ...); Params an opaque
+	// canonical parameter rendering. The cache imposes no structure on it:
+	// callers derive it from the app's registered parameter schema
+	// (apps.Entry.Canonical), which zeroes the fields the app ignores so
+	// equivalent requests share one cache key.
 	App    string
 	Params string
-}
-
-// CanonicalParams renders query parameters in a canonical order, zeroing the
-// ones the app ignores so equivalent requests share one cache key: PageRank
-// variants ignore the root, components ignore root and iteration cap, and
-// frontier programs ignore the iteration cap.
-func CanonicalParams(app string, iters, root int, includeValues bool) string {
-	switch app {
-	case "pr", "wpr":
-		root = 0
-	case "cc":
-		root, iters = 0, 0
-	case "bfs", "sssp":
-		iters = 0
-	}
-	return fmt.Sprintf("iters=%d&root=%d&values=%t", iters, root, includeValues)
 }
 
 // Result is one cached query outcome: the serialized response payload plus

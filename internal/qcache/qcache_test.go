@@ -14,35 +14,9 @@ func payload(n int, tag string) Result {
 	return Result{Payload: bytes.Repeat([]byte(tag[:1]), n), RunID: tag}
 }
 
-func TestCanonicalParams(t *testing.T) {
-	cases := []struct {
-		app        string
-		itA, rootA int
-		itB, rootB int
-		same       bool
-	}{
-		{"pr", 20, 0, 20, 7, true},  // pr ignores root
-		{"wpr", 20, 3, 20, 9, true}, // wpr ignores root
-		{"pr", 20, 0, 21, 0, false}, // pr keys on iters
-		{"cc", 5, 3, 99, 7, true},   // cc ignores both
-		{"bfs", 5, 3, 99, 3, true},  // bfs ignores iters
-		{"bfs", 0, 3, 0, 4, false},  // bfs keys on root
-		{"sssp", 1, 2, 50, 2, true}, // sssp ignores iters
-		{"sssp", 0, 2, 0, 3, false}, // sssp keys on root
-	}
-	for _, tc := range cases {
-		a := CanonicalParams(tc.app, tc.itA, tc.rootA, false)
-		b := CanonicalParams(tc.app, tc.itB, tc.rootB, false)
-		if (a == b) != tc.same {
-			t.Errorf("%s: CanonicalParams(%d,%d)=%q vs (%d,%d)=%q, same=%v want %v",
-				tc.app, tc.itA, tc.rootA, a, tc.itB, tc.rootB, b, a == b, tc.same)
-		}
-	}
-	// values participates in the key.
-	if CanonicalParams("pr", 20, 0, true) == CanonicalParams("pr", 20, 0, false) {
-		t.Error("values flag not part of the key")
-	}
-}
+// Canonical-parameter derivation lives with the app registry now
+// (apps.Entry.Canonical); internal/apps/registry_test.go holds the
+// table-driven ignored-field tests. The cache treats Params as opaque.
 
 func TestLRUBudgetEviction(t *testing.T) {
 	res := payload(100, "a")

@@ -1,0 +1,177 @@
+package grazelle
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// End-to-end tests of the app registry over the serve API: GET /v1/apps
+// enumerates every registered application with its parameter schema, and
+// every unweighted app is queryable over POST /v1/query with a cache miss
+// followed by a byte-identical hit — including a request that differs only
+// in a parameter the app's schema ignores, which must canonicalize onto the
+// same cache key (the coalescing criterion from the satellite list).
+
+// appsListing mirrors the /v1/apps response shape.
+type appsListing struct {
+	Apps []struct {
+		Name         string         `json:"name"`
+		Title        string         `json:"title"`
+		Description  string         `json:"description"`
+		Params       []string       `json:"params"`
+		Defaults     map[string]int `json:"defaults"`
+		NeedsWeights bool           `json:"needs_weights"`
+	} `json:"apps"`
+}
+
+func fetchApps(t *testing.T, client *http.Client, base string) appsListing {
+	t.Helper()
+	var listing appsListing
+	if err := json.Unmarshal([]byte(fetchText(t, client, base+"/v1/apps")), &listing); err != nil {
+		t.Fatalf("decode /v1/apps: %v", err)
+	}
+	return listing
+}
+
+func TestServeAppsEndpoint(t *testing.T) {
+	base, _, cmd := startServeObs(t, "-d", "C", "-scale", "0.25")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	listing := fetchApps(t, client, base)
+	byName := map[string]int{}
+	for i, a := range listing.Apps {
+		byName[a.Name] = i
+		if a.Title == "" || a.Description == "" {
+			t.Errorf("app %q missing title or description", a.Name)
+		}
+	}
+	for _, name := range []string{"pr", "wpr", "cc", "bfs", "sssp", "tc", "kcore", "lp", "ppr"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("/v1/apps missing registered app %q", name)
+		}
+	}
+	if a := listing.Apps[byName["pr"]]; len(a.Params) != 1 || a.Params[0] != "iters" || a.Defaults["iters"] != 16 {
+		t.Errorf("pr schema over the wire = %+v", a)
+	}
+	if a := listing.Apps[byName["kcore"]]; len(a.Params) != 1 || a.Params[0] != "k" || a.Defaults["k"] != 2 {
+		t.Errorf("kcore schema over the wire = %+v", a)
+	}
+	for _, name := range []string{"wpr", "sssp"} {
+		if !listing.Apps[byName[name]].NeedsWeights {
+			t.Errorf("%s should advertise needs_weights", name)
+		}
+	}
+}
+
+// TestServeRegistryAppsCacheHits runs every unweighted registered app over
+// the query API: miss, then byte-identical hit, then a hit for a request
+// bumped only in an ignored field — with grazelle_runs_total advancing by
+// exactly one per app across the whole sequence.
+func TestServeRegistryAppsCacheHits(t *testing.T) {
+	base, _, cmd := startServeObs(t, "-d", "C", "-scale", "0.25")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// queries pair each app with a bumped variant differing only in a field
+	// the app's registered schema ignores.
+	queries := []struct {
+		app     string
+		q       string
+		ignored string
+	}{
+		{"pr", `{"app":"pr","iters":6,"values":true}`, `{"app":"pr","iters":6,"root":9,"values":true}`},
+		{"cc", `{"app":"cc","values":true}`, `{"app":"cc","iters":3,"values":true}`},
+		{"bfs", `{"app":"bfs","root":1,"values":true}`, `{"app":"bfs","root":1,"k":7,"values":true}`},
+		{"tc", `{"app":"tc","values":true}`, `{"app":"tc","iters":2,"root":4,"values":true}`},
+		{"kcore", `{"app":"kcore","k":2,"values":true}`, `{"app":"kcore","k":2,"iters":9,"values":true}`},
+		{"lp", `{"app":"lp","iters":5,"values":true}`, `{"app":"lp","iters":5,"root":3,"values":true}`},
+		{"ppr", `{"app":"ppr","iters":6,"root":1,"values":true}`, `{"app":"ppr","iters":6,"root":1,"k":5,"values":true}`},
+	}
+
+	// Every unweighted registered app must appear in the table above, so a
+	// future registration cannot dodge this e2e bar silently.
+	listing := fetchApps(t, client, base)
+	covered := map[string]bool{}
+	for _, q := range queries {
+		covered[q.app] = true
+	}
+	for _, a := range listing.Apps {
+		if !a.NeedsWeights && !covered[a.Name] {
+			t.Errorf("unweighted app %q not covered by the query table", a.Name)
+		}
+	}
+
+	runsBefore, _ := metricSample(t, fetchText(t, client, base+"/metrics"), "grazelle_runs_total")
+
+	for _, tc := range queries {
+		code, miss, xc, _ := rawQuery(t, client, base, tc.q)
+		if code != 200 || xc != "miss" {
+			t.Fatalf("%s: first query status %d X-Cache %q body %s", tc.app, code, xc, miss)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(miss, &m); err != nil {
+			t.Fatalf("%s: response not JSON: %v", tc.app, err)
+		}
+		if vals, _ := m["values"].([]any); len(vals) == 0 {
+			t.Fatalf("%s: values requested but absent: %s", tc.app, miss)
+		}
+		if m["app"] != tc.app {
+			t.Errorf("%s: response app field = %v", tc.app, m["app"])
+		}
+
+		code, hit, xc, _ := rawQuery(t, client, base, tc.q)
+		if code != 200 || xc != "hit" {
+			t.Fatalf("%s: repeat query status %d X-Cache %q", tc.app, code, xc)
+		}
+		if string(hit) != string(miss) {
+			t.Fatalf("%s: cache hit not byte-identical to the miss", tc.app)
+		}
+
+		code, again, xc, _ := rawQuery(t, client, base, tc.ignored)
+		if code != 200 || xc != "hit" {
+			t.Fatalf("%s: ignored-field variant status %d X-Cache %q, want hit (same canonical key)",
+				tc.app, code, xc)
+		}
+		if string(again) != string(miss) {
+			t.Fatalf("%s: ignored-field hit payload diverges", tc.app)
+		}
+	}
+
+	runsAfter, _ := metricSample(t, fetchText(t, client, base+"/metrics"), "grazelle_runs_total")
+	if got, want := runsAfter-runsBefore, float64(len(queries)); got != want {
+		t.Errorf("grazelle_runs_total delta = %v across the sequence, want %v (one run per app)", got, want)
+	}
+
+	// Per-app sanity on the summary fields the registry serializers emit.
+	checks := []struct {
+		q   string
+		key string
+	}{
+		{`{"app":"tc"}`, "triangles"},
+		{`{"app":"kcore","k":2}`, "in_kcore"},
+		{`{"app":"lp","iters":5}`, "labels"},
+		{`{"app":"ppr","iters":6,"root":1}`, "rank_sum"},
+	}
+	for _, c := range checks {
+		code, body, _, _ := rawQuery(t, client, base, c.q)
+		if code != 200 {
+			t.Fatalf("summary check %s: status %d body %s", c.q, code, body)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m[c.key]; !ok {
+			t.Errorf("query %s: summary field %q missing from %s", c.q, c.key, body)
+		}
+	}
+}
