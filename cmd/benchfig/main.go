@@ -37,6 +37,7 @@ func run() error {
 		datasets = flag.String("datasets", "", "comma-free dataset abbreviations, e.g. \"TDU\" (default all)")
 		benchOut = flag.String("bench-json", "", "write a PR/CC/BFS timing snapshot as JSON to this file and exit")
 		cacheAB  = flag.Bool("cache-ab", false, "include query-result-cache cold/warm A/B rows in the -bench-json snapshot")
+		partAB   = flag.Bool("partition-ab", false, "include partitioned-vs-monolithic coordinator A/B rows in the -bench-json snapshot")
 	)
 	flag.Parse()
 
@@ -48,12 +49,13 @@ func run() error {
 	}
 
 	cfg := harness.Config{
-		Scale:   *scale,
-		Workers: *workers,
-		PRIters: *prIters,
-		Repeats: *repeats,
-		Quick:   *quick,
-		CacheAB: *cacheAB,
+		Scale:       *scale,
+		Workers:     *workers,
+		PRIters:     *prIters,
+		Repeats:     *repeats,
+		Quick:       *quick,
+		CacheAB:     *cacheAB,
+		PartitionAB: *partAB,
 	}
 	if *datasets != "" {
 		for _, ch := range *datasets {

@@ -51,6 +51,7 @@ func run() error {
 		mode    = flag.String("engine", "hybrid", "engine mode: hybrid, pull, push")
 		scalar  = flag.Bool("scalar", false, "disable the vectorized kernels")
 		record  = flag.Bool("counters", false, "collect and print execution counters")
+		parts   = flag.Int("partitions", 0, "run through the partitioned coordinator with this many partitions (0 or 1 = monolithic; output is bit-identical)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func run() error {
 		ChunkVectors: *gran,
 		Scalar:       *scalar,
 		Record:       *record,
+		Partitions:   *parts,
 	}
 	switch strings.ToLower(*variant) {
 	case "sa":
@@ -123,6 +125,9 @@ func run() error {
 
 	fmt.Printf("Iterations: %d (pull %d, push %d)\n",
 		stats.Iterations, stats.PullIterations, stats.PushIterations)
+	if stats.Partitions > 1 {
+		fmt.Printf("Partitions: %d\n", stats.Partitions)
+	}
 	fmt.Printf("Running Time: %v (edge %v, vertex %v)\n",
 		stats.Total, stats.EdgeTime, stats.VertexTime)
 	if *record {

@@ -105,6 +105,7 @@ func runServe(args []string) error {
 		logLevel    = fs.String("log-level", "info", "request log level (debug logs probe/scrape requests too)")
 		cacheBudget = fs.Int64("cache-budget", 256<<20, "query result cache byte budget (0 = cache nothing, coalescing stays on)")
 		cacheBypass = fs.Bool("cache-bypass", false, "disable the query result cache and coalescing entirely")
+		partitions  = fs.Int("partitions", 0, "run queries through the partitioned coordinator with this many partitions (0 or 1 = monolithic; output is bit-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +121,7 @@ func runServe(args []string) error {
 		HardRunLimit:   *hardLimit,
 		// Phase tracing is on for every serve-mode run: its cost is
 		// phase-boundary-only and it feeds /v1/runs and the phase histograms.
-		Options: grazelle.Options{Trace: true},
+		Options: grazelle.Options{Trace: true, Partitions: *partitions},
 	})
 	if err != nil {
 		return err
@@ -563,16 +564,23 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 	wall := time.Since(start)
 	s.metrics.observeRun(wall, stats.Phases, stats.TraceDropped)
 	rec := obs.RunRecord{
-		ID:       runID,
-		Graph:    req.Graph,
-		App:      req.App,
-		Start:    start,
-		Wall:     wall,
-		Trace:    obs.RunTrace{Phases: stats.Phases, Dropped: stats.TraceDropped},
-		Workers:  s.workers,
-		Iters:    stats.Iterations,
-		Vertices: int64(h.Graph().NumVertices()),
-		Edges:    int64(h.Graph().NumEdges()),
+		ID:    runID,
+		Graph: req.Graph,
+		App:   req.App,
+		Start: start,
+		Wall:  wall,
+		Trace: obs.RunTrace{
+			Phases:     stats.Phases,
+			Directions: stats.Directions,
+			Partitions: stats.PartitionStats,
+			Dropped:    stats.TraceDropped,
+		},
+		Workers:    s.workers,
+		Iters:      stats.Iterations,
+		Vertices:   int64(h.Graph().NumVertices()),
+		Edges:      int64(h.Graph().NumEdges()),
+		Mode:       stats.Mode,
+		Partitions: stats.Partitions,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -598,6 +606,8 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 		"iterations":      stats.Iterations,
 		"pull_iterations": stats.PullIterations,
 		"push_iterations": stats.PushIterations,
+		"mode":            stats.Mode,
+		"partitions":      stats.Partitions,
 		"elapsed_ms":      stats.Total.Milliseconds(),
 	}
 	for _, st := range res.Summary() {

@@ -178,6 +178,19 @@ type Options struct {
 	// phase). Overhead is phase-boundary-only — a fraction of a percent —
 	// so serving layers keep it on.
 	Trace bool
+	// Partitions splits each run into this many partitions executed through
+	// the partitioned coordinator (scatter-gather phases plus a frontier
+	// exchange at the barrier) — the scale-out seam. Output is bit-identical
+	// to a monolithic run for any count. 0 or 1 runs monolithically;
+	// configurations the partitioned path does not cover (Scalar,
+	// non-default Variant, Record, multi-socket) quietly fall back, and
+	// Stats.Partitions reports the effective count.
+	Partitions int
+	// PullDegreeShare tunes the hybrid engine's degree-sum term (Besta et
+	// al.): a low-density frontier still pulls when its out-edges cover at
+	// least this share of all edges. 0 selects the default (0.15); a
+	// negative value disables the term.
+	PullDegreeShare float64
 }
 
 // Engine executes graph applications on one Graph. Engines hold a worker
@@ -199,14 +212,16 @@ type Engine struct {
 // Store resolve differently.
 func (opt Options) coreOptions() core.Options {
 	return core.Options{
-		ChunkVectors:   opt.ChunkVectors,
-		Variant:        opt.Variant,
-		Scalar:         opt.Scalar,
-		Mode:           opt.Mode,
-		Record:         opt.Record,
-		SparseFrontier: opt.SparseFrontier,
-		MaxRunTime:     opt.MaxRunTime,
-		Trace:          opt.Trace,
+		ChunkVectors:    opt.ChunkVectors,
+		Variant:         opt.Variant,
+		Scalar:          opt.Scalar,
+		Mode:            opt.Mode,
+		Record:          opt.Record,
+		SparseFrontier:  opt.SparseFrontier,
+		MaxRunTime:      opt.MaxRunTime,
+		Trace:           opt.Trace,
+		Partitions:      opt.Partitions,
+		PullDegreeShare: opt.PullDegreeShare,
 	}
 }
 
@@ -242,10 +257,20 @@ func (e *Engine) Graph() *Graph { return e.g }
 // bounds observed when the phase ran.
 type PhaseStat = obs.PhaseStat
 
+// PartitionStat is one partition's aggregate within a partitioned run's
+// trace: phase wall times, exchanged frontier bytes, and span count.
+type PartitionStat = obs.PartitionStat
+
 // Stats summarizes a run.
 type Stats struct {
 	// Iterations counts Edge+Vertex rounds; Pull/Push split them by engine.
 	Iterations, PullIterations, PushIterations int
+	// Mode is the engine mode the run executed under ("Hybrid", "Pull",
+	// "Push").
+	Mode string
+	// Partitions is the effective partition count the coordinator ran with
+	// (1 = monolithic, including fallbacks from a higher request).
+	Partitions int
 	// EdgeTime, VertexTime, and Total are wall-clock durations.
 	EdgeTime, VertexTime, Total time.Duration
 	// EdgeCounters and VertexCounters hold the perfmodel counters (zero
@@ -255,6 +280,13 @@ type Stats struct {
 	// set): edge-pull, edge-push, vertex, and merge, in that order, with
 	// phases that never ran omitted.
 	Phases []PhaseStat
+	// Directions is the per-iteration direction string (empty unless
+	// Options.Trace was set): '<' pull, '>' push, 's' sparse, '+' elided
+	// tail on very long runs.
+	Directions string
+	// PartitionStats is the per-partition breakdown (empty unless
+	// Options.Trace was set and the run was partitioned).
+	PartitionStats []PartitionStat
 	// TraceDropped reports that tracing failed mid-run and was abandoned
 	// (the run itself succeeded); Phases may be incomplete.
 	TraceDropped bool
@@ -265,12 +297,16 @@ func statsOf(res core.Result) Stats {
 		Iterations:     res.Iterations,
 		PullIterations: res.PullIterations,
 		PushIterations: res.PushIterations,
+		Mode:           res.Mode.String(),
+		Partitions:     res.Partitions,
 		EdgeTime:       res.EdgeTime,
 		VertexTime:     res.VertexTime,
 		Total:          res.Total,
 		EdgeCounters:   res.EdgeCounters,
 		VertexCounters: res.VertexCounters,
 		Phases:         res.Trace.Phases,
+		Directions:     res.Trace.Directions,
+		PartitionStats: res.Trace.Partitions,
 		TraceDropped:   res.Trace.Dropped,
 	}
 }

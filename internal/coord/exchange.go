@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+)
+
+// FrontierDelta is one partition's outbound frontier state for an
+// iteration: the slice of the next-frontier bitmap covering the partition's
+// destination range. Word-granular ranges keep segments disjoint, so the
+// per-partition byte counts are exact and a transport can ship each segment
+// without masking.
+type FrontierDelta struct {
+	// Part is the producing partition.
+	Part int
+	// WordLo is the index of Words[0] within the run's global bitmap.
+	WordLo int
+	// Words is the segment's activation bits. In-process this aliases the
+	// engine's bitmap (zero-copy handoff); a network transport serializes
+	// it instead.
+	Words []uint64
+}
+
+// Bytes returns the segment's wire size.
+func (d FrontierDelta) Bytes() int64 { return int64(len(d.Words)) * 8 }
+
+// ExchangeResult reports a completed frontier exchange.
+type ExchangeResult struct {
+	// Active is the total number of active vertices across all segments —
+	// the input to the convergence vote.
+	Active int
+	// Bytes is each partition's outbound byte count this iteration,
+	// indexed like the deltas.
+	Bytes []int64
+}
+
+// Exchange moves per-partition frontier deltas between partitions at the
+// iteration barrier. It is the transport seam: the coordinator calls it
+// once per frontier-driven iteration with every partition's outbound
+// segment and blocks until each partition can see the full next frontier.
+// Implementations must honor ctx — a wedged exchange is how a partitioned
+// run hangs, and cancellation (including the serving layer's watchdog) must
+// fail the run cleanly.
+type Exchange interface {
+	Exchange(ctx context.Context, deltas []FrontierDelta) (ExchangeResult, error)
+}
+
+// SharedMemExchange is the in-process Exchange: every partition already
+// wrote its activation bits into the shared bitmap, so the handoff is
+// zero-copy and "exchanging" reduces to accounting — popcounting each
+// segment for the convergence vote and recording the bytes a real transport
+// would have moved. The coord/exchange failpoint sits here so the chaos
+// suite can wedge or fail the barrier.
+type SharedMemExchange struct{}
+
+func (SharedMemExchange) Exchange(ctx context.Context, deltas []FrontierDelta) (ExchangeResult, error) {
+	// Failpoint first, then the context check: a delay spec models a slow
+	// peer, after which a watchdog-cancelled context must surface instead
+	// of a successful exchange.
+	if err := fault.Inject("coord/exchange"); err != nil {
+		return ExchangeResult{}, fmt.Errorf("coord: frontier exchange failed: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return ExchangeResult{}, fmt.Errorf("coord: frontier exchange cancelled: %w", err)
+	}
+	res := ExchangeResult{Bytes: make([]int64, len(deltas))}
+	for i, d := range deltas {
+		for _, w := range d.Words {
+			res.Active += bits.OnesCount64(w)
+		}
+		res.Bytes[i] = d.Bytes()
+	}
+	return res, nil
+}

@@ -1,0 +1,33 @@
+package coord
+
+import "context"
+
+// LocalCoordinator replays the monolithic schedule: one full-grid edge
+// phase, the ordered merge, one full vertex phase with its frontier
+// publish, no exchange. It exists so the engine has exactly one iteration
+// driver — this path is bit-identical (and trace-identical) to the
+// pre-coordinator runner loop.
+type LocalCoordinator struct {
+	Policy Policy
+}
+
+func (c *LocalCoordinator) Run(ctx context.Context, it Iteration, maxIters int) error {
+	for i := 0; i < maxIters; i++ {
+		st := it.Begin()
+		if st.Stop {
+			break
+		}
+		dir := c.Policy.Choose(st)
+		if dir == DirSparse {
+			it.Sparse()
+		} else {
+			it.EdgeFull(dir)
+			it.VertexFull()
+		}
+		it.End(dir)
+	}
+	return nil
+}
+
+func (c *LocalCoordinator) Partitions() int                 { return 1 }
+func (c *LocalCoordinator) PartitionStats() []PartitionStat { return nil }

@@ -1,0 +1,192 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// scriptedIteration records the coordinator's calls and stops after a fixed
+// number of iterations. Span closures run concurrently, so the log is
+// mutex-guarded.
+type scriptedIteration struct {
+	mu           sync.Mutex
+	log          []string
+	iters, limit int
+	usesFrontier bool
+	sparseAt     map[int]bool
+	density      float64
+}
+
+func (s *scriptedIteration) bundle() Iteration {
+	rec := func(ev string) {
+		s.mu.Lock()
+		s.log = append(s.log, ev)
+		s.mu.Unlock()
+	}
+	return Iteration{
+		Begin: func() Status {
+			if s.iters >= s.limit {
+				return Status{Stop: true}
+			}
+			s.iters++
+			rec("begin")
+			return Status{
+				UsesFrontier: s.usesFrontier,
+				Density:      s.density,
+				SparseOK:     s.sparseAt[s.iters],
+			}
+		},
+		Sparse:      func() { rec("sparse") },
+		EdgeFull:    func(d Direction) { rec("edgefull" + string(d.Mark())) },
+		VertexFull:  func() { rec("vertexfull") },
+		EdgeBegin:   func(d Direction) { rec("ebegin" + string(d.Mark())) },
+		EdgeSpan:    func(d Direction, sp Span) { rec(fmt.Sprintf("espan%d", sp.Part)) },
+		EdgeDone:    func(d Direction) { rec("edone") },
+		VertexBegin: func() { rec("vbegin") },
+		VertexSpan:  func(sp Span) { rec(fmt.Sprintf("vspan%d", sp.Part)) },
+		VertexDone:  func() { rec("vdone") },
+		Delta: func(sp Span) FrontierDelta {
+			rec(fmt.Sprintf("delta%d", sp.Part))
+			return FrontierDelta{Part: sp.Part, WordLo: sp.Lo, Words: []uint64{3}}
+		},
+		Publish: func() { rec("publish") },
+		End:     func(d Direction) { rec("end" + string(d.Mark())) },
+	}
+}
+
+func TestLocalCoordinatorSchedule(t *testing.T) {
+	s := &scriptedIteration{limit: 2, usesFrontier: true, density: 0.5,
+		sparseAt: map[int]bool{2: true}}
+	c := &LocalCoordinator{Policy: Policy{PullThreshold: 0.05}}
+	if err := c.Run(context.Background(), s.bundle(), 10); err != nil {
+		t.Fatal(err)
+	}
+	want := "begin,edgefull<,vertexfull,end<,begin,sparse,ends"
+	if got := join(s.log); got != want {
+		t.Errorf("schedule = %s, want %s", got, want)
+	}
+	if c.Partitions() != 1 || c.PartitionStats() != nil {
+		t.Error("local coordinator reported partitioned state")
+	}
+}
+
+func TestLocalCoordinatorMaxIters(t *testing.T) {
+	s := &scriptedIteration{limit: 100, density: 1}
+	c := &LocalCoordinator{}
+	if err := c.Run(context.Background(), s.bundle(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.iters != 3 {
+		t.Errorf("ran %d iterations, want 3", s.iters)
+	}
+}
+
+func TestPartitionedCoordinatorSchedule(t *testing.T) {
+	s := &scriptedIteration{limit: 1, usesFrontier: true, density: 0.5}
+	c := &PartitionedCoordinator{
+		Policy: Policy{PullThreshold: 0.05},
+		Plan:   numa.NewPlan(2, 4, 4, 2),
+	}
+	if err := c.Run(context.Background(), s.bundle(), 10); err != nil {
+		t.Fatal(err)
+	}
+	// Span order within a scatter is nondeterministic; check structure via
+	// the bracketing events and per-partition stats instead.
+	got := join(s.log)
+	want := []string{"begin", "ebegin<", "espan0", "espan1", "edone",
+		"vbegin", "vspan0", "vspan1", "vdone", "delta0", "delta1", "publish", "end<"}
+	for _, ev := range want {
+		if !contains(s.log, ev) {
+			t.Errorf("schedule %s missing %s", got, ev)
+		}
+	}
+	if s.log[len(s.log)-1] != "end<" || s.log[len(s.log)-2] != "publish" {
+		t.Errorf("schedule %s must finish with publish,end<", got)
+	}
+	if c.Partitions() != 2 {
+		t.Errorf("partitions = %d, want 2", c.Partitions())
+	}
+	stats := c.PartitionStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d entries, want 2", len(stats))
+	}
+	for i, st := range stats {
+		if st.Part != i || st.Spans != 2 || st.ExchangeBytes != 8 {
+			t.Errorf("stats[%d] = %+v, want Part=%d Spans=2 ExchangeBytes=8", i, st, i)
+		}
+	}
+}
+
+// TestPartitionedCoordinatorExchangeError checks an exchange failure still
+// closes the iteration (End) but skips the publish, and surfaces the error.
+func TestPartitionedCoordinatorExchangeError(t *testing.T) {
+	boom := errors.New("boom")
+	s := &scriptedIteration{limit: 5, usesFrontier: true, density: 0.5}
+	c := &PartitionedCoordinator{
+		Plan:     numa.NewPlan(2, 4, 4, 2),
+		Exchange: failingExchange{err: boom},
+	}
+	err := c.Run(context.Background(), s.bundle(), 10)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if contains(s.log, "publish") {
+		t.Error("failed exchange still published the frontier")
+	}
+	if s.log[len(s.log)-1] != "end<" {
+		t.Errorf("schedule %s must close the iteration after a failed exchange", join(s.log))
+	}
+	if s.iters != 1 {
+		t.Errorf("ran %d iterations past a failed exchange", s.iters)
+	}
+}
+
+// TestPartitionedCoordinatorSparseIteration checks sparse rounds bypass the
+// scatter and exchange entirely.
+func TestPartitionedCoordinatorSparseIteration(t *testing.T) {
+	s := &scriptedIteration{limit: 1, usesFrontier: true, density: 0.001,
+		sparseAt: map[int]bool{1: true}}
+	c := &PartitionedCoordinator{Plan: numa.NewPlan(2, 4, 4, 2)}
+	if err := c.Run(context.Background(), s.bundle(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := join(s.log), "begin,sparse,ends"; got != want {
+		t.Errorf("schedule = %s, want %s", got, want)
+	}
+	for _, st := range c.PartitionStats() {
+		if st.ExchangeBytes != 0 || st.Spans != 0 {
+			t.Errorf("sparse round charged partition %d: %+v", st.Part, st)
+		}
+	}
+}
+
+type failingExchange struct{ err error }
+
+func (f failingExchange) Exchange(context.Context, []FrontierDelta) (ExchangeResult, error) {
+	return ExchangeResult{}, f.err
+}
+
+func join(log []string) string {
+	out := ""
+	for i, ev := range log {
+		if i > 0 {
+			out += ","
+		}
+		out += ev
+	}
+	return out
+}
+
+func contains(log []string, ev string) bool {
+	for _, e := range log {
+		if e == ev {
+			return true
+		}
+	}
+	return false
+}

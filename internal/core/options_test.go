@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+// TestEngineModeString pins the canonical names and the out-of-range
+// formatting on both sides — the table lookup must never borrow a neighbor's
+// name for an unknown value.
+func TestEngineModeString(t *testing.T) {
+	cases := []struct {
+		m    EngineMode
+		want string
+	}{
+		{EngineHybrid, "Hybrid"},
+		{EnginePullOnly, "Pull"},
+		{EnginePushOnly, "Push"},
+		{EngineMode(-1), "EngineMode(-1)"},
+		{EngineMode(3), "EngineMode(3)"},
+		{EngineMode(7), "EngineMode(7)"},
+	}
+	for _, tc := range cases {
+		if got := tc.m.String(); got != tc.want {
+			t.Errorf("EngineMode(%d).String() = %q, want %q", int(tc.m), got, tc.want)
+		}
+	}
+}
+
+// TestOptionsDefaults pins the withDefaults normalization added for the
+// coordinator: the degree-share default, its negative opt-out, and the
+// partition floor.
+func TestOptionsDefaults(t *testing.T) {
+	g := &Graph{}
+	o := Options{}.withDefaults(g)
+	if o.PullDegreeShare != 0.15 {
+		t.Errorf("default PullDegreeShare = %v, want 0.15", o.PullDegreeShare)
+	}
+	if o.Partitions != 1 {
+		t.Errorf("default Partitions = %d, want 1", o.Partitions)
+	}
+	o = Options{PullDegreeShare: -1, Partitions: 8}.withDefaults(g)
+	if o.PullDegreeShare != -1 {
+		t.Errorf("negative PullDegreeShare rewritten to %v", o.PullDegreeShare)
+	}
+	if o.Partitions != 8 {
+		t.Errorf("Partitions = %d, want 8", o.Partitions)
+	}
+}

@@ -49,12 +49,24 @@ func RunEdgePull[P apps.Program](r *ExecContext, p P) {
 // chunk contains each vertex's last vector), or to the chunk's private merge
 // buffer slot.
 func edgePullSA[P apps.Program](r *ExecContext, p P) {
-	a := r.g.VSD
-	total := a.NumVectors()
+	total := r.g.VSD.NumVectors()
 	if total == 0 {
 		return
 	}
 	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	r.dispatch(r.pullPart, chunkSize, r.edgeRec, pullSABody(r, p))
+	mergeAccum(r, p, p.Identity())
+}
+
+// pullSABody builds the scheduler-aware chunk body with every loop invariant
+// hoisted into the closure. The partitioned coordinator rebuilds it each
+// iteration (it snapshots the frontier words, which swap on publish) and
+// runs it concurrently over disjoint spans of the same global chunk grid —
+// chunk-local state, single-writer transition stores, and merge slots keyed
+// by global chunk id make that exactly as safe as concurrent chunks of one
+// dispatch.
+func pullSABody[P apps.Program](r *ExecContext, p P) func(rg sched.Range, chunkID, tid, node int) {
+	a := r.g.VSD
 	identity := p.Identity()
 	usesFrontier := p.UsesFrontier()
 	tracksConv := p.TracksConverged()
@@ -65,7 +77,7 @@ func edgePullSA[P apps.Program](r *ExecContext, p P) {
 	fz := fuseFor(p, weighted)
 
 	words := a.Words
-	r.dispatch(r.pullPart, chunkSize, rec, func(rg sched.Range, chunkID, tid, node int) {
+	return func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
 		// StartChunk (Listing 3): TLS holds the previous destination and its
 		// partially-aggregated value.
@@ -160,8 +172,7 @@ func edgePullSA[P apps.Program](r *ExecContext, p P) {
 		// this chunk's private merge-buffer slot.
 		r.mergeBuf.Save(chunkID, prev, acc)
 		rec.Record(tid, c)
-	})
-	mergeAccum(r, p, identity)
+	}
 }
 
 // mergeAccum folds the merge buffer into the shared accumulators

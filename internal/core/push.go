@@ -40,12 +40,32 @@ func RunEdgePush[P apps.Program](r *ExecContext, p P) {
 // deterministic at any worker count. Min-style operators keep the CAS:
 // their result is interleaving-independent.
 func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
-	a := r.g.VSS
-	total := a.NumVectors()
-	if total == 0 {
+	if r.g.VSS.NumVectors() == 0 {
 		return
 	}
-	chunkSize := r.opt.chunkSizeFor(total, r.pool.Workers())
+	ordered := fuseFor(p, p.Weighted() && r.g.VSS.Weights != nil).ordered
+	// Chunk over source vertices: the per-source frontier bit skips whole
+	// adjacency lists (push's advantage, §2), and the vertex index — which
+	// §4 keeps around precisely for frontier checks — locates each active
+	// source's vectors.
+	vertChunk := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
+	if ordered {
+		r.scatterBuf.Grow(sched.NumChunks(r.g.N, vertChunk) + r.topo.Nodes)
+	}
+	r.dispatch(r.vertexPartition(), vertChunk, r.edgeRec, pushVectorizedBody(r, p))
+	if ordered {
+		mergeScatter(r, p)
+	}
+}
+
+// pushVectorizedBody builds the vectorized push chunk body with the loop
+// invariants hoisted into the closure. Like pullSABody, the partitioned
+// coordinator rebuilds it each iteration and runs it concurrently over
+// disjoint source-vertex spans: the scatter is a CAS (or an append to the
+// chunk's private scatter-buffer slot, keyed by global chunk id), so span
+// concurrency is exactly as safe as chunk concurrency.
+func pushVectorizedBody[P apps.Program](r *ExecContext, p P) func(rg sched.Range, chunkID, tid, node int) {
+	a := r.g.VSS
 	usesFrontier := p.UsesFrontier()
 	tracksConv := p.TracksConverged()
 	skipEqual := p.SkipEqualWrites()
@@ -56,16 +76,7 @@ func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 
 	words := a.Words
 	index := a.Index
-	_ = chunkSize
-	// Chunk over source vertices: the per-source frontier bit skips whole
-	// adjacency lists (push's advantage, §2), and the vertex index — which
-	// §4 keeps around precisely for frontier checks — locates each active
-	// source's vectors.
-	vertChunk := sched.ChunkSize(r.g.N, sched.DefaultChunks(r.pool.Workers()))
-	if fz.ordered {
-		r.scatterBuf.Grow(sched.NumChunks(r.g.N, vertChunk) + r.topo.Nodes)
-	}
-	r.dispatch(r.vertexPartition(), vertChunk, rec, func(rg sched.Range, chunkID, tid, node int) {
+	return func(rg sched.Range, chunkID, tid, node int) {
 		var c perfmodel.Counters
 		var out []sched.Contribution
 		if fz.ordered {
@@ -120,9 +131,6 @@ func edgePushVectorized[P apps.Program](r *ExecContext, p P) {
 			r.scatterBuf.Save(chunkID, out)
 		}
 		rec.Record(tid, c)
-	})
-	if fz.ordered {
-		mergeScatter(r, p)
 	}
 }
 

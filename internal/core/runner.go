@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/coord"
 	"repro/internal/fault"
 	"repro/internal/frontier"
 	"repro/internal/numa"
@@ -38,6 +39,14 @@ type Runner struct {
 	// mergeSlots sizes each ExecContext's merge buffer for the worst-case
 	// chunk count across phases.
 	mergeSlots int
+
+	// Coordinator state: the effective partition count (1 = monolithic), the
+	// partition plan over the global chunk grids, and the chunk sizes those
+	// grids were built from. Fixed at construction so every run of this
+	// Runner schedules identically.
+	parts                        int
+	plan                         numa.Plan
+	pullChunkSize, vertChunkSize int
 
 	closeOnce sync.Once
 	ctxPool   sync.Pool
@@ -120,6 +129,25 @@ func NewRunner(g *Graph, opt Options) *Runner {
 	// partial aggregate), the traditional kernels use a pair (prefix and
 	// suffix boundary runs).
 	r.mergeSlots = 2 * (sched.NumChunks(maxVectors, chunkSize) + r.topo.Nodes)
+	// Partitioned execution drives the scheduler-aware vectorized kernels on
+	// single-node topologies; every other configuration falls back to the
+	// monolithic path (Result.Partitions reports the effective count).
+	// Record is excluded because per-tid counter slots are private to one
+	// pool job and a scatter phase runs several concurrently.
+	r.parts = r.opt.Partitions
+	if r.parts > 1 && (r.opt.Scalar || r.opt.WideVectors || r.opt.WorkStealing ||
+		r.opt.Record || r.opt.Variant != PullSchedulerAware || r.topo.Nodes > 1) {
+		r.parts = 1
+	}
+	if r.parts > 1 {
+		workers := r.pool.Workers()
+		r.pullChunkSize = r.opt.chunkSizeFor(g.VSD.NumVectors(), workers)
+		r.vertChunkSize = sched.ChunkSize(g.N, sched.DefaultChunks(workers))
+		r.plan = numa.NewPlan(r.parts,
+			sched.NumChunks(g.VSD.NumVectors(), r.pullChunkSize),
+			sched.NumChunks(g.N, r.vertChunkSize),
+			(g.N+63)/64)
+	}
 	return r
 }
 
@@ -424,6 +452,12 @@ type Result struct {
 	EdgeProfile perfmodel.Breakdown
 	// Trace is the per-phase breakdown (empty unless Options.Trace).
 	Trace obs.RunTrace
+	// Mode is the engine mode the run was configured with.
+	Mode EngineMode
+	// Partitions is the effective coordinator partition count the run
+	// executed with (1 = monolithic; see Options.Partitions for the
+	// configurations that fall back).
+	Partitions int
 }
 
 // Run executes program p for at most maxIters iterations (frontier-driven
@@ -470,30 +504,55 @@ func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (
 	return res, err
 }
 
-// runLoop is the iteration driver shared by Run and RunCtx, executing on a
-// dedicated ExecContext.
+// runLoop executes one run by binding the program's kernels into a
+// coord.Iteration closure bundle and handing the schedule to a Coordinator:
+// LocalCoordinator replays the monolithic loop, PartitionedCoordinator
+// scatter-gathers each phase across plan spans (see DESIGN.md §13).
 func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error) {
 	start := time.Now()
 	ec.Init(p)
 	var res Result
+	res.Mode = ec.opt.Mode
+	res.Partitions = ec.parts
 	usesFrontier := p.UsesFrontier()
-	for res.Iterations < maxIters {
-		if ec.aborted() {
-			break
-		}
-		if usesFrontier && ec.front.Empty() {
-			break
-		}
-		p.PreIteration(ec.props)
-		// The iteration's frontier density drives both the engine choice and
-		// the trace; computing it once keeps the two consistent.
-		density := 1.0
-		if usesFrontier {
-			density = ec.front.Density()
-		}
-		if front, ok := ec.selectSparse(p); ok {
+
+	// density and sparseList carry per-iteration state from Begin into the
+	// phase closures. The coordinator invokes Begin/Sparse/Edge*/Vertex*/End
+	// strictly in sequence on this goroutine; only the *Span closures run
+	// concurrently, on disjoint chunk spans.
+	var (
+		density    float64
+		sparseList []uint32
+	)
+	it := coord.Iteration{
+		Begin: func() coord.Status {
+			var st coord.Status
+			if ec.aborted() || (usesFrontier && ec.front.Empty()) {
+				st.Stop = true
+				return st
+			}
+			p.PreIteration(ec.props)
+			// The iteration's frontier density drives both the direction
+			// choice and the trace; computing it once keeps the two
+			// consistent.
+			density = 1.0
+			if usesFrontier {
+				density = ec.front.Density()
+			}
+			st.UsesFrontier = usesFrontier
+			st.Density = density
+			if usesFrontier {
+				st.DegreeShare = ec.frontierDegreeShare
+			}
+			if front, ok := ec.selectSparse(p); ok {
+				sparseList = front
+				st.SparseOK = true
+			}
+			return st
+		},
+		Sparse: func() {
 			t0 := time.Now()
-			touched := runEdgePushSparse(ec, p, front)
+			touched := runEdgePushSparse(ec, p, sparseList)
 			t1 := time.Now()
 			edgeWall := t1.Sub(t0)
 			res.EdgeTime += edgeWall
@@ -502,37 +561,75 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 			vertexWall := time.Since(t1)
 			res.VertexTime += vertexWall
 			ec.traceVertex(vertexWall, density)
-			res.PushIterations++
-			res.SparseIterations++
+		},
+		EdgeFull: func(dir coord.Direction) {
+			t0 := time.Now()
+			ph := obs.PhaseEdgePush
+			if dir == coord.DirPull {
+				RunEdgePull(ec, p)
+				ph = obs.PhaseEdgePull
+			} else {
+				RunEdgePush(ec, p)
+			}
+			edgeWall := time.Since(t0)
+			res.EdgeTime += edgeWall
+			ec.traceEdge(ph, edgeWall, density)
+		},
+		VertexFull: func() {
+			t0 := time.Now()
+			RunVertex(ec, p)
+			vertexWall := time.Since(t0)
+			res.VertexTime += vertexWall
+			ec.traceVertex(vertexWall, density)
+		},
+		End: func(dir coord.Direction) {
+			switch dir {
+			case coord.DirPull:
+				res.PullIterations++
+			case coord.DirSparse:
+				res.PushIterations++
+				res.SparseIterations++
+			default:
+				res.PushIterations++
+			}
 			res.Iterations++
-			continue
-		}
-		usePull := ec.selectPull(p, density)
-		t0 := time.Now()
-		ph := obs.PhaseEdgePush
-		if usePull {
-			RunEdgePull(ec, p)
-			res.PullIterations++
-			ph = obs.PhaseEdgePull
-		} else {
-			RunEdgePush(ec, p)
-			res.PushIterations++
-		}
-		t1 := time.Now()
-		edgeWall := t1.Sub(t0)
-		res.EdgeTime += edgeWall
-		ec.traceEdge(ph, edgeWall, density)
-		RunVertex(ec, p)
-		vertexWall := time.Since(t1)
-		res.VertexTime += vertexWall
-		ec.traceVertex(vertexWall, density)
-		res.Iterations++
+			ec.noteDirection(dir.Mark())
+		},
 	}
+
+	policy := coord.Policy{
+		PullOnly:             ec.opt.Mode == EnginePullOnly,
+		PushOnly:             ec.opt.Mode == EnginePushOnly,
+		PullThreshold:        ec.opt.PullThreshold,
+		DegreeShareThreshold: ec.opt.PullDegreeShare,
+	}
+	var driver coord.Coordinator
+	if ec.parts > 1 {
+		bindPartitioned(ec, p, &it, &res, &density)
+		driver = &coord.PartitionedCoordinator{Policy: policy, Plan: ec.plan}
+	} else {
+		driver = &coord.LocalCoordinator{Policy: policy}
+	}
+	coordErr := driver.Run(ec.ctx, it, maxIters)
+
 	res.Total = time.Since(start)
 	res.EdgeCounters = ec.edgeRec.Total()
 	res.VertexCounters = ec.vertexRec.Total()
 	res.EdgeProfile = ec.edgeRec.Profile()
 	if ec.tracer != nil {
+		if ps := driver.PartitionStats(); len(ps) > 0 {
+			ops := make([]obs.PartitionStat, len(ps))
+			for i, s := range ps {
+				ops[i] = obs.PartitionStat{
+					Part:          s.Part,
+					EdgeWall:      s.EdgeWall,
+					VertexWall:    s.VertexWall,
+					ExchangeBytes: s.ExchangeBytes,
+					Spans:         s.Spans,
+				}
+			}
+			ec.tracer.SetPartitions(ops)
+		}
 		res.Trace = ec.tracer.Trace()
 	}
 	if pe := ec.runErr.Load(); pe != nil {
@@ -541,23 +638,148 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error)
 	if err := ec.ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: run cancelled after %d iterations: %w", res.Iterations, err)
 	}
+	if coordErr != nil {
+		return res, fmt.Errorf("core: run failed after %d iterations: %w", res.Iterations, coordErr)
+	}
 	return res, nil
 }
 
-// selectPull implements the hybrid engine choice: pull for frontier-blind
-// programs and for dense frontiers, push for sparse ones (§2). density is
-// the iteration's frontier density, computed once by the driver.
-func (ec *ExecContext) selectPull(p apps.Program, density float64) bool {
-	switch ec.opt.Mode {
-	case EnginePullOnly:
-		return true
-	case EnginePushOnly:
-		return false
+// bindPartitioned installs the scatter-gather closures the partitioned
+// coordinator drives. Edge and vertex bodies are rebuilt each iteration —
+// they snapshot the frontier words, which swap on publish — and every span
+// executes chunks of the same global grid a monolithic dispatch would, so
+// merge slots, fold order, and output bits are independent of the partition
+// count.
+func bindPartitioned[P apps.Program](ec *ExecContext, p P, it *coord.Iteration, res *Result, density *float64) {
+	identity := p.Identity()
+	pushOrdered := fuseFor(p, p.Weighted() && ec.g.VSS.Weights != nil).ordered
+	pullTotal := ec.g.VSD.NumVectors()
+	grp := ec.pool.NewGroup()
+	var (
+		edgeBody func(rg sched.Range, chunkID, tid, node int)
+		vbody    func(rg sched.Range, tid int)
+		phaseT0  time.Time
+	)
+	it.EdgeBegin = func(dir coord.Direction) {
+		phaseT0 = time.Now()
+		if dir == coord.DirPull {
+			edgeBody = pullSABody(ec, p)
+			// Pre-grow on the driver: concurrent spans must never resize the
+			// shared merge buffer.
+			ec.mergeBuf.Grow(sched.NumChunks(pullTotal, ec.pullChunkSize))
+		} else {
+			edgeBody = pushVectorizedBody(ec, p)
+			if pushOrdered {
+				ec.scatterBuf.Grow(sched.NumChunks(ec.g.N, ec.vertChunkSize) + ec.topo.Nodes)
+			}
+		}
 	}
-	if !p.UsesFrontier() {
-		return true
+	it.EdgeSpan = func(dir coord.Direction, s coord.Span) {
+		total, chunkSize := pullTotal, ec.pullChunkSize
+		if dir == coord.DirPush {
+			total, chunkSize = ec.g.N, ec.vertChunkSize
+		}
+		ec.dispatchSpan(grp, s, total, chunkSize, edgeBody)
 	}
-	return density >= ec.opt.PullThreshold
+	it.EdgeDone = func(dir coord.Direction) {
+		ph := obs.PhaseEdgePull
+		if dir == coord.DirPull {
+			mergeAccum(ec, p, identity)
+		} else {
+			ph = obs.PhaseEdgePush
+			if pushOrdered {
+				mergeScatter(ec, p)
+			}
+		}
+		edgeWall := time.Since(phaseT0)
+		if ec.edgeRec != nil {
+			ec.edgeRec.Wall += edgeWall
+		}
+		res.EdgeTime += edgeWall
+		ec.traceEdge(ph, edgeWall, *density)
+	}
+	it.VertexBegin = func() {
+		phaseT0 = time.Now()
+		vbody = vertexBody(ec, p)
+		ec.next.Clear()
+	}
+	it.VertexSpan = func(s coord.Span) {
+		ec.dispatchSpan(grp, s, ec.g.N, ec.vertChunkSize, func(rg sched.Range, chunkID, tid, node int) {
+			vbody(rg, tid)
+		})
+	}
+	it.VertexDone = func() {
+		vertexWall := time.Since(phaseT0)
+		res.VertexTime += vertexWall
+		if ec.vertexRec != nil {
+			ec.vertexRec.Wall += vertexWall
+		}
+		ec.traceVertex(vertexWall, *density)
+	}
+	it.Delta = func(s coord.Span) coord.FrontierDelta {
+		return coord.FrontierDelta{Part: s.Part, WordLo: s.Lo, Words: ec.next.Words()[s.Lo:s.Hi]}
+	}
+	it.Publish = ec.publishFrontier
+}
+
+// dispatchSpan executes global chunk ids [s.Lo, s.Hi) of one phase grid as a
+// single grouped pool job: chunk ranges, ids, and therefore merge-buffer
+// slots are exactly those a monolithic dispatch would produce, so the fold —
+// and the output bits — cannot depend on the partition count. Partitioned
+// execution is gated to single-node topologies, so chunks carry node 0.
+func (ec *ExecContext) dispatchSpan(grp *sched.Group, s coord.Span, total, chunkSize int, body func(rg sched.Range, chunkID, tid, node int)) {
+	if s.Lo >= s.Hi {
+		return
+	}
+	var next atomic.Int64
+	next.Store(int64(s.Lo))
+	// runChunk contains every body panic, so the job itself cannot fail.
+	_ = ec.pool.RunGrouped(grp, func(tid int) {
+		for {
+			if ec.aborted() {
+				return
+			}
+			c := int(next.Add(1)) - 1
+			if c >= s.Hi {
+				return
+			}
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > total {
+				hi = total
+			}
+			ec.runChunk(body, sched.Range{Lo: lo, Hi: hi}, c, tid, 0)
+		}
+	})
+}
+
+// publishFrontier installs the just-built next frontier as the current one.
+func (ec *ExecContext) publishFrontier() {
+	ec.front, ec.next = ec.next, ec.front
+}
+
+// frontierDegreeShare returns the current frontier's out-degree sum as a
+// share of all edges — the lazy degree-sum term of the hybrid heuristic
+// (Policy.DegreeShareThreshold). Only invoked when the density test alone
+// would choose push, so the O(frontier) walk is paid exactly when the
+// decision is in doubt.
+func (ec *ExecContext) frontierDegreeShare() float64 {
+	if ec.g.Edges == 0 {
+		return 0
+	}
+	var sum uint64
+	ec.front.ForEach(func(v uint32) {
+		sum += uint64(ec.g.CSR.Degree(v))
+	})
+	return float64(sum) / float64(ec.g.Edges)
+}
+
+// noteDirection appends one iteration's direction mark to the run trace.
+func (ec *ExecContext) noteDirection(mark byte) {
+	if ec.tracer == nil || ec.traceDropped {
+		return
+	}
+	ec.tracer.AddDirection(mark)
 }
 
 // traceEdge records a completed edge phase: the merge fold ran inside the
@@ -593,10 +815,7 @@ func (ec *ExecContext) traceVertex(wall time.Duration, density float64) {
 // work is regular enough that load balancing is not a problem).
 func RunVertex[P apps.Program](r *ExecContext, p P) {
 	t0 := time.Now()
-	identity := p.Identity()
-	tracksConv := p.TracksConverged()
-	nextWords := r.next.Words()
-	convWords := r.conv.Words()
+	body := vertexBody(r, p)
 	r.next.Clear()
 	r.pool.StaticFor(r.g.N, func(rg sched.Range, tid int) {
 		if r.aborted() {
@@ -604,6 +823,26 @@ func RunVertex[P apps.Program](r *ExecContext, p P) {
 		}
 		defer r.guard()
 		r.countChunk()
+		body(rg, tid)
+	})
+	r.publishFrontier()
+	if r.vertexRec != nil {
+		r.vertexRec.Wall += time.Since(t0)
+	}
+}
+
+// vertexBody builds the Vertex-phase range body with the loop invariants
+// hoisted into the closure. The partitioned coordinator rebuilds it each
+// iteration (it snapshots the next-frontier words, which swap on publish)
+// and runs it concurrently over disjoint vertex spans — every write is
+// either per-vertex state owned by the span or an atomic OR into the shared
+// bitmaps, so span concurrency is exactly as safe as chunk concurrency.
+func vertexBody[P apps.Program](r *ExecContext, p P) func(rg sched.Range, tid int) {
+	identity := p.Identity()
+	tracksConv := p.TracksConverged()
+	nextWords := r.next.Words()
+	convWords := r.conv.Words()
+	return func(rg sched.Range, tid int) {
 		var c perfmodel.Counters
 		start := time.Now()
 		apply := func(v int) {
@@ -673,10 +912,6 @@ func RunVertex[P apps.Program](r *ExecContext, p P) {
 			r.vertexRec.Record(tid, c)
 			r.vertexRec.AddBusy(tid, time.Since(start))
 		}
-	})
-	r.front, r.next = r.next, r.front
-	if r.vertexRec != nil {
-		r.vertexRec.Wall += time.Since(t0)
 	}
 }
 

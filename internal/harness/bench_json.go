@@ -55,6 +55,7 @@ type BenchSnapshot struct {
 	TraceOverhead []TraceOverheadResult `json:"trace_overhead,omitempty"`
 	RegistryAB    []RegistryABResult    `json:"registry_ab,omitempty"`
 	CacheAB       []CacheABResult       `json:"cache_ab,omitempty"`
+	PartitionAB   []PartitionABResult   `json:"partition_ab,omitempty"`
 }
 
 // registryBenchApps are the registry-dispatched apps benchmarked on the
@@ -196,6 +197,13 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			return err
 		}
 		snap.CacheAB = rows
+	}
+	if cfg.PartitionAB {
+		rows, err := PartitionAB(cfg)
+		if err != nil {
+			return err
+		}
+		snap.PartitionAB = rows
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -30,6 +30,9 @@ type Config struct {
 	// CacheAB adds the query-result-cache cold/warm A/B rows to BenchJSON
 	// snapshots (see CacheAB).
 	CacheAB bool
+	// PartitionAB adds the partitioned-vs-monolithic coordinator A/B rows
+	// to BenchJSON snapshots (see PartitionAB).
+	PartitionAB bool
 	// Datasets restricts the sweep; nil means all six.
 	Datasets []gen.Dataset
 }

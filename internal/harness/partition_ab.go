@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// PartitionABResult is one (dataset, app, partitions) row comparing the
+// monolithic coordinator against the partitioned one — the Fig 5 workload
+// re-run through the scale-out seam. Both sides run with tracing on (the
+// serve-mode configuration), so the ratio isolates the coordinator: the
+// scatter-gather span dispatch and the shared-memory frontier exchange.
+// Output is bit-identical by contract; the rows verify it on every run.
+type PartitionABResult struct {
+	Dataset       string `json:"dataset"`
+	App           string `json:"app"`
+	Partitions    int    `json:"partitions"`
+	MonolithicNS  int64  `json:"monolithic_ns"`
+	PartitionedNS int64  `json:"partitioned_ns"`
+	// Ratio is partitioned/monolithic wall time: >1 is coordinator overhead.
+	Ratio float64 `json:"ratio"`
+	// ExchangeBytes is each partition's frontier bytes through the exchange
+	// over the measured run (all zero for frontier-blind apps like pr).
+	ExchangeBytes []int64 `json:"exchange_bytes"`
+}
+
+// partitionABCounts are the partition counts each A/B row sweep covers.
+var partitionABCounts = []int{2, 4}
+
+// PartitionAB measures the partitioned coordinator against the monolithic
+// path on PR/CC/BFS over the config's datasets, asserting bit-identical
+// output as it goes.
+func PartitionAB(cfg Config) ([]PartitionABResult, error) {
+	cfg = cfg.withDefaults()
+	var rows []PartitionABResult
+	for _, d := range cfg.Datasets {
+		g := cfg.DatasetGraph(d)
+		cg := cfg.DatasetCoreGraph(d)
+		type appCase struct {
+			name string
+			run  func(r *core.Runner) core.Result
+		}
+		cases := []appCase{
+			{"pr", func(r *core.Runner) core.Result { return core.Run(r, apps.NewPageRank(g), cfg.PRIters) }},
+			{"cc", func(r *core.Runner) core.Result { return core.Run(r, apps.NewConnComp(), 1<<20) }},
+			{"bfs", func(r *core.Runner) core.Result { return core.Run(r, apps.NewBFS(0), 1<<20) }},
+		}
+		for _, c := range cases {
+			mono := core.NewRunner(cg, core.Options{Workers: cfg.Workers, Trace: true})
+			var monoRes core.Result
+			monoNS := cfg.timeBest(func() { monoRes = c.run(mono) }).Nanoseconds()
+			mono.Close()
+			for _, parts := range partitionABCounts {
+				r := core.NewRunner(cg, core.Options{
+					Workers: cfg.Workers, Trace: true, Partitions: parts,
+				})
+				var res core.Result
+				best := cfg.timeBest(func() { res = c.run(r) })
+				r.Close()
+				if res.Partitions != parts {
+					return nil, fmt.Errorf("%s/%s: effective partitions %d, want %d",
+						d.Abbrev(), c.name, res.Partitions, parts)
+				}
+				for v := range monoRes.Props {
+					if res.Props[v] != monoRes.Props[v] {
+						return nil, fmt.Errorf("%s/%s p=%d: props[%d] diverged from monolithic",
+							d.Abbrev(), c.name, parts, v)
+					}
+				}
+				bytes := make([]int64, 0, parts)
+				for _, ps := range res.Trace.Partitions {
+					bytes = append(bytes, ps.ExchangeBytes)
+				}
+				rows = append(rows, PartitionABResult{
+					Dataset:       string(d.Abbrev()),
+					App:           c.name,
+					Partitions:    parts,
+					MonolithicNS:  monoNS,
+					PartitionedNS: best.Nanoseconds(),
+					Ratio:         float64(best.Nanoseconds()) / float64(monoNS),
+					ExchangeBytes: bytes,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPartitionABRows(t *testing.T) {
+	cfg := Config{Quick: true, Datasets: []gen.Dataset{gen.AllDatasets[0]}}
+	rows, err := PartitionAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(partitionABCounts); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (pr, cc, bfs × partition counts)", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.MonolithicNS <= 0 || r.PartitionedNS <= 0 || r.Ratio <= 0 {
+			t.Errorf("%s/%s p=%d: non-positive timings %+v", r.Dataset, r.App, r.Partitions, r)
+		}
+		if len(r.ExchangeBytes) != r.Partitions {
+			t.Errorf("%s/%s p=%d: %d exchange-byte entries", r.Dataset, r.App, r.Partitions, len(r.ExchangeBytes))
+		}
+		var sum int64
+		for _, b := range r.ExchangeBytes {
+			sum += b
+		}
+		// Frontier-driven apps must move frontier state; pr is blind.
+		if r.App == "pr" && sum != 0 {
+			t.Errorf("pr exchanged %d bytes, want 0", sum)
+		}
+		if r.App != "pr" && sum == 0 {
+			t.Errorf("%s/%s p=%d exchanged no bytes", r.Dataset, r.App, r.Partitions)
+		}
+	}
+}
+
+func TestBenchJSONIncludesPartitionAB(t *testing.T) {
+	cfg := Config{Quick: true, PartitionAB: true, Datasets: []gen.Dataset{gen.AllDatasets[0]}}
+	var buf bytes.Buffer
+	if err := BenchJSON(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.PartitionAB) == 0 {
+		t.Fatal("snapshot has no partition_ab rows")
+	}
+}

@@ -19,6 +19,10 @@ type RunRecord struct {
 	Iters    int           `json:"iterations,omitempty"`
 	Vertices int64         `json:"vertices,omitempty"`
 	Edges    int64         `json:"edges,omitempty"`
+	// Mode and Partitions record the engine mode and effective partition
+	// count the run executed under (Partitions 1 = monolithic).
+	Mode       string `json:"mode,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
 }
 
 // TraceRing retains the last N completed run records for GET /v1/runs.

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A group's concurrent jobs must consume exactly one unit of the active-job
+// cap: with maxJobs=1, P grouped jobs all publish and run in parallel while
+// an ungrouped job from a second "query" stays blocked until the whole group
+// drains.
+func TestGroupAdmissionSingleCapUnit(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.SetMaxActiveJobs(1)
+
+	const parts = 3
+	var concurrent, peak atomic.Int64
+	release := make(chan struct{})
+	g := p.NewGroup()
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.RunGrouped(g, func(tid int) {
+				if tid != 0 {
+					return
+				}
+				c := concurrent.Add(1)
+				for {
+					old := peak.Load()
+					if c <= old || peak.CompareAndSwap(old, c) {
+						break
+					}
+				}
+				<-release
+				concurrent.Add(-1)
+			})
+		}()
+	}
+
+	// All grouped jobs should reach their slot-0 bodies despite maxJobs=1.
+	deadline := time.After(5 * time.Second)
+	for concurrent.Load() != parts {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d grouped jobs running under cap 1", concurrent.Load(), parts)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// An ungrouped competitor submitted while the group is live: it must not
+	// publish until the whole group drains.
+	ran := make(chan struct{})
+	go func() {
+		p.Run(func(tid int) {})
+		close(ran)
+	}()
+	select {
+	case <-ran:
+		t.Fatal("ungrouped job ran while the group held the only cap unit")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	wg.Wait()
+	select {
+	case <-ran:
+	case <-deadline:
+		t.Fatal("ungrouped job never ran after the group drained")
+	}
+	if got := peak.Load(); got != parts {
+		t.Errorf("peak grouped concurrency %d, want %d", got, parts)
+	}
+	if p.ActiveJobs() != 0 {
+		t.Errorf("%d jobs still active", p.ActiveJobs())
+	}
+}
+
+// The cap unit must be released exactly once per group drain, and a reused
+// group must re-take it — exercised by alternating grouped and ungrouped
+// jobs under cap 1 for many rounds (leaked units would wedge, double frees
+// would let two queries in at once).
+func TestGroupAdmissionChurn(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.SetMaxActiveJobs(1)
+	g := p.NewGroup()
+	for round := 0; round < 200; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.RunGrouped(g, func(tid int) {})
+			}()
+		}
+		wg.Wait()
+		if err := p.Run(func(tid int) {}); err != nil {
+			t.Fatal(err)
+		}
+		p.mu.Lock()
+		units := p.capUnits
+		p.mu.Unlock()
+		if units != 0 {
+			t.Fatalf("round %d: %d cap units leaked", round, units)
+		}
+	}
+}
+
+// A panic inside a grouped job must be contained like any other job's and
+// must still release the group's cap unit.
+func TestGroupPanicReleasesCapUnit(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.SetMaxActiveJobs(1)
+	g := p.NewGroup()
+	err := p.RunGrouped(g, func(tid int) { panic("boom") })
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Run(func(tid int) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cap unit leaked by panicked grouped job")
+	}
+}

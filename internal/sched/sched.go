@@ -55,6 +55,11 @@ type Pool struct {
 	// misbehaving caller cannot pile unbounded jobs onto the worker set.
 	maxJobs  int
 	jobsFree *sync.Cond
+	// capUnits counts active jobs against maxJobs, with every Group counted
+	// once no matter how many of its jobs are live — one admitted query may
+	// scatter per-partition jobs without eating sibling queries' slots.
+	// Guarded by mu.
+	capUnits int
 	// seq counts job submissions; idle workers watch it for new work.
 	seq atomic.Uint64
 	// panics counts recovered job-body panics (slot- and chunk-level), for
@@ -88,6 +93,9 @@ type PoolMetrics struct {
 type job struct {
 	fn    func(tid int)
 	slots int64
+	// group, when non-nil, makes this job share one active-job cap unit with
+	// every other live job of the same Group (see Pool.RunGrouped).
+	group *Group
 	// next is the slot ticket; done counts completed slots.
 	next atomic.Int64
 	done atomic.Int64
@@ -215,11 +223,30 @@ func (p *Pool) ActiveJobs() int {
 	return len(p.loadJobs())
 }
 
-// submit publishes a job and wakes parked workers.
+// submit publishes a job and wakes parked workers. A job whose group
+// already holds a cap unit bypasses the active-job bound: the group was
+// admitted as a whole, and blocking its siblings behind other queries'
+// jobs would serialize (or, with reentrant submitters, deadlock) the
+// scatter phase the group exists for.
 func (p *Pool) submit(j *job) {
 	p.mu.Lock()
-	for p.maxJobs > 0 && len(p.loadJobs()) >= p.maxJobs && !p.closed.Load() {
+	for p.maxJobs > 0 && p.capUnits >= p.maxJobs && !p.closed.Load() &&
+		!(j.group != nil && j.group.active > 0) {
 		p.jobsFree.Wait()
+	}
+	if j.group != nil {
+		if j.group.active == 0 {
+			p.capUnits++
+			// Parked siblings of this group must recheck: they bypass the
+			// cap now that the group holds its unit, and no job finish is
+			// coming to signal them.
+			if p.jobsFree != nil {
+				p.jobsFree.Broadcast()
+			}
+		}
+		j.group.active++
+	} else {
+		p.capUnits++
 	}
 	old := p.loadJobs()
 	nw := make([]*job, len(old)+1)
@@ -251,12 +278,38 @@ func (p *Pool) finish(j *job) {
 		}
 	}
 	p.jobs.Store(&nw)
+	if j.group != nil {
+		j.group.active--
+		if j.group.active == 0 {
+			p.capUnits--
+		}
+	} else {
+		p.capUnits--
+	}
 	if p.jobsFree != nil {
 		p.jobsFree.Signal()
 	}
 	p.mu.Unlock()
 	close(j.fin)
 }
+
+// Group ties several concurrent jobs of one logical run together so they
+// consume a single unit of the pool's active-job cap: the unit is taken when
+// the group's first job is published and returned when its last live job
+// finishes. The partitioned coordinator scatters one admitted query's edge
+// (or vertex) phase as P per-partition jobs through a Group, preserving the
+// serving layer's invariant that admitted queries == active cap units.
+//
+// A Group is safe for concurrent RunGrouped calls and may be reused across
+// phases; the zero state holds no cap unit.
+type Group struct {
+	// active counts the group's currently published jobs; the group holds a
+	// cap unit exactly while active > 0. Guarded by the pool's mu.
+	active int
+}
+
+// NewGroup returns a job group for use with RunGrouped.
+func (p *Pool) NewGroup() *Group { return &Group{} }
 
 // SetMetrics attaches (or detaches, with nil) the pool's timing histograms.
 // Safe to call concurrently with Run; in-flight jobs may observe either
@@ -301,7 +354,15 @@ func (p *Pool) Close() {
 // barrier, sibling jobs and the worker goroutines are untouched, and Run
 // returns the first panic as a *PanicError. A nil return means every slot
 // ran to completion.
-func (p *Pool) Run(fn func(tid int)) error {
+func (p *Pool) Run(fn func(tid int)) error { return p.runJob(fn, nil) }
+
+// RunGrouped is Run with the job accounted to g: all live jobs of one group
+// consume a single unit of the active-job cap, so a partitioned run can
+// scatter concurrent per-partition jobs under the one admission slot its
+// query holds. g == nil behaves exactly like Run.
+func (p *Pool) RunGrouped(g *Group, fn func(tid int)) error { return p.runJob(fn, g) }
+
+func (p *Pool) runJob(fn func(tid int), g *Group) error {
 	m := p.metrics.Load()
 	if p.workers == 1 {
 		var t0 time.Time
@@ -331,7 +392,7 @@ func (p *Pool) Run(fn func(tid int)) error {
 		}
 		return nil
 	}
-	j := &job{fn: fn, slots: int64(p.workers), fin: make(chan struct{})}
+	j := &job{fn: fn, slots: int64(p.workers), fin: make(chan struct{}), group: g}
 	var t0 time.Time
 	if m != nil {
 		t0 = time.Now()
