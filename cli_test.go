@@ -740,3 +740,103 @@ func TestCLIGrazelleServeHandlerPanicReleasesSlot(t *testing.T) {
 		t.Errorf("stats in_flight = %v, want 0", st["in_flight"])
 	}
 }
+
+// TestCLIGrazelleServeCrashRecovery is the streaming-mutation crash drill:
+// acknowledged edge batches must survive a SIGKILL (WAL replay serves a
+// bit-identical view on restart), and a batch whose WAL fsync failed — the
+// server said no — must be absent after the next crash, not half-applied.
+func TestCLIGrazelleServeCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	const mutate = `{"ops":[{"src":1,"dst":2,"weight":1.5},{"delete":true,"src":2,"dst":3},{"src":4,"dst":1,"weight":0.5}]}`
+	const query = `{"graph":"g","app":"pr","iters":8,"values":true,"no_cache":true}`
+
+	// Phase 1: load a graph, apply two acknowledged mutation batches, record
+	// the served values, then crash without any shutdown grace.
+	base, cmd := startServe(t, "-data-dir", dataDir)
+	sc := newServeClient(t, base)
+	if code, m := sc.do("POST", "/v1/graphs", `{"name":"g","dataset":"C","scale":0.25}`); code != 200 {
+		t.Fatalf("load g: status %d body %v", code, m)
+	}
+	var lastVersion float64
+	for i := 0; i < 2; i++ {
+		code, m := sc.do("POST", "/v1/graphs/g/edges", mutate)
+		if code != 200 {
+			t.Fatalf("mutation %d: status %d body %v", i, code, m)
+		}
+		if v, _ := m["version"].(float64); v <= lastVersion {
+			t.Fatalf("mutation %d version = %v, want > %v", i, m["version"], lastVersion)
+		} else {
+			lastVersion = v
+		}
+	}
+	code, ref := sc.do("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("reference query: status %d body %v", code, ref)
+	}
+	refValues, _ := ref["values"].([]any)
+	if len(refValues) == 0 {
+		t.Fatal("reference query returned no values")
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Phase 2: restart with the WAL fsync failpoint armed. The two acked
+	// batches replay bit-identically; the next batch is refused (its fsync
+	// fails, the tail rolls back) before this instance is crashed too.
+	base2, cmd2 := startServeEnv(t,
+		[]string{"GRAZELLE_FAILPOINTS=store/wal-fsync=error*1"},
+		"-data-dir", dataDir)
+	sc2 := newServeClient(t, base2)
+	code, got := sc2.do("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("query after crash: status %d body %v", code, got)
+	}
+	assertSameValues(t, refValues, got["values"], "acked batches after SIGKILL")
+	code, m := sc2.do("POST", "/v1/graphs/g/edges", `{"ops":[{"src":7,"dst":8,"weight":9.0}]}`)
+	if code == 200 {
+		t.Fatalf("mutation with failing fsync: status 200 body %v, want refusal", m)
+	}
+	cmd2.Process.Kill()
+	cmd2.Wait()
+
+	// Phase 3: clean restart. The refused batch must be absent — the served
+	// view still matches the two acknowledged batches exactly — and writes
+	// work again.
+	base3, cmd3 := startServe(t, "-data-dir", dataDir)
+	defer func() {
+		cmd3.Process.Kill()
+		cmd3.Wait()
+	}()
+	sc3 := newServeClient(t, base3)
+	code, got = sc3.do("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("query after second crash: status %d body %v", code, got)
+	}
+	assertSameValues(t, refValues, got["values"], "unacked batch rolled back")
+	if code, m := sc3.do("POST", "/v1/graphs/g/edges", mutate); code != 200 {
+		t.Fatalf("post-recovery mutation: status %d body %v", code, m)
+	}
+	if code, m := sc3.do("POST", "/v1/graphs/g/compact", ""); code != 200 {
+		t.Fatalf("compact: status %d body %v", code, m)
+	}
+	// Compaction is bit-preserving and idempotent on an empty overlay.
+	if code, m := sc3.do("POST", "/v1/graphs/g/compact", ""); code != 200 {
+		t.Fatalf("second compact: status %d body %v", code, m)
+	}
+}
+
+// assertSameValues compares two JSON-decoded per-vertex value arrays
+// exactly. JSON float round-tripping is bit-faithful for float64, so
+// interface equality here is bit-identity of the served values.
+func assertSameValues(t *testing.T, want []any, gotAny any, label string) {
+	t.Helper()
+	got, _ := gotAny.([]any)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: values[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}

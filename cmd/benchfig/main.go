@@ -38,6 +38,7 @@ func run() error {
 		benchOut = flag.String("bench-json", "", "write a PR/CC/BFS timing snapshot as JSON to this file and exit")
 		cacheAB  = flag.Bool("cache-ab", false, "include query-result-cache cold/warm A/B rows in the -bench-json snapshot")
 		partAB   = flag.Bool("partition-ab", false, "include partitioned-vs-monolithic coordinator A/B rows in the -bench-json snapshot")
+		walBench = flag.Bool("wal-bench", false, "include streaming-mutation write-throughput and recovery-replay rows in the -bench-json snapshot")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func run() error {
 		Quick:       *quick,
 		CacheAB:     *cacheAB,
 		PartitionAB: *partAB,
+		WALBench:    *walBench,
 	}
 	if *datasets != "" {
 		for _, ch := range *datasets {

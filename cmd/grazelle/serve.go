@@ -44,6 +44,15 @@ import (
 //	                            {"name":"g","path":"/data/graph"} (file pair)
 //	DELETE /v1/graphs/{name}    unregister a graph and delete its snapshot
 //	POST   /v1/graphs/{name}/snapshot   re-persist a graph to --data-dir
+//	POST   /v1/graphs/{name}/edges      apply a batch of streaming edge
+//	                            mutations ({"ops":[{"src":1,"dst":2,
+//	                            "weight":1.0},{"delete":true,"src":3,
+//	                            "dst":4}]}); the batch is WAL-durable and
+//	                            visible under a new version before the
+//	                            response returns
+//	POST   /v1/graphs/{name}/compact    fold the mutation overlay into a
+//	                            fresh base snapshot (also runs in the
+//	                            background past -compact-after)
 //	POST   /v1/query            run an application
 //	                            {"graph":"t","app":"pr","iters":16,
 //	                             "root":0,"k":2,"timeout_ms":500,
@@ -85,6 +94,12 @@ import (
 // timeouts 504; a contained panic 500 — the server itself stays up (every
 // handler runs under a recovery wrapper). SIGINT/SIGTERM drain in-flight
 // requests before exiting.
+//
+// Mutations degrade rather than fail the instance: an overlay past
+// -delta-budget returns 429 with Retry-After (compaction is already
+// scheduled), a wedged delta log returns 503 with Retry-After while healing
+// retries in the background, and reads keep serving the last good version
+// through both. /readyz reports degraded while any delta log is wedged.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
 	var (
@@ -106,19 +121,23 @@ func runServe(args []string) error {
 		cacheBudget = fs.Int64("cache-budget", 256<<20, "query result cache byte budget (0 = cache nothing, coalescing stays on)")
 		cacheBypass = fs.Bool("cache-bypass", false, "disable the query result cache and coalescing entirely")
 		partitions  = fs.Int("partitions", 0, "run queries through the partitioned coordinator with this many partitions (0 or 1 = monolithic; output is bit-identical)")
+		deltaCap    = fs.Int64("delta-budget", 64<<20, "per-graph un-compacted mutation overlay budget in bytes; past it writes get 429 until compaction (0 = unlimited)")
+		compactAt   = fs.Int64("compact-after", 16<<20, "overlay bytes that trigger background compaction (0 = only explicit /compact)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	st, err := grazelle.OpenStore(grazelle.StoreConfig{
-		DataDir:        *dataDir,
-		MemBudgetBytes: *memCap,
-		MaxInFlight:    *inflight,
-		MaxQueue:       *maxQueue,
-		Workers:        *threads,
-		SoftRunLimit:   *softLimit,
-		HardRunLimit:   *hardLimit,
+		DataDir:           *dataDir,
+		MemBudgetBytes:    *memCap,
+		MaxInFlight:       *inflight,
+		MaxQueue:          *maxQueue,
+		Workers:           *threads,
+		SoftRunLimit:      *softLimit,
+		HardRunLimit:      *hardLimit,
+		DeltaBudgetBytes:  *deltaCap,
+		CompactAfterBytes: *compactAt,
 		// Phase tracing is on for every serve-mode run: its cost is
 		// phase-boundary-only and it feeds /v1/runs and the phase histograms.
 		Options: grazelle.Options{Trace: true, Partitions: *partitions},
@@ -254,6 +273,8 @@ func (s *server) mux() http.Handler {
 	handle("POST /v1/graphs", s.handleAddGraph)
 	handle("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	handle("POST /v1/graphs/{name}/snapshot", s.handleSnapshotGraph)
+	handle("POST /v1/graphs/{name}/edges", s.handleMutateEdges)
+	handle("POST /v1/graphs/{name}/compact", s.handleCompactGraph)
 	handle("POST /v1/query", s.handleQuery)
 	handle("POST /v1/batch", s.handleBatch)
 	return s.recoverMiddleware(mux)
@@ -386,6 +407,97 @@ func (s *server) handleSnapshotGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"snapshotted": name})
+}
+
+// handleMutateEdges applies one batch of streaming edge mutations. The
+// response is written only after the batch is WAL-durable and published
+// under a new version, so a 200 means the mutation survives a crash. The
+// degradation ladder maps to statuses clients can act on: overlay over
+// budget 429 + Retry-After (compaction already scheduled), delta log wedged
+// 503 + Retry-After (healing retries in the background, reads still serve),
+// raced a replace/delete 409 (retry against the new graph if still
+// meaningful), malformed ops 400.
+func (s *server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req struct {
+		Ops []struct {
+			Delete bool    `json:"delete"`
+			Src    uint32  `json:"src"`
+			Dst    uint32  `json:"dst"`
+			Weight float32 `json:"weight"`
+		} `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty ops batch"))
+		return
+	}
+	ops := make([]grazelle.EdgeOp, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = grazelle.EdgeOp{Delete: op.Delete, Src: op.Src, Dst: op.Dst, Weight: op.Weight}
+	}
+	seq, version, err := s.store.ApplyEdges(name, ops)
+	if err != nil {
+		status, retryAfter := mutationStatus(err)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   name,
+		"applied": len(ops),
+		"seq":     seq,
+		"version": version,
+	})
+}
+
+// handleCompactGraph folds the graph's mutation overlay into a fresh base
+// snapshot on demand. Compaction is bit-preserving, so this is always safe;
+// it mainly serves tests and operators who want the overlay drained now
+// rather than at the -compact-after threshold.
+func (s *server) handleCompactGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Compact(name); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, grazelle.ErrGraphNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, grazelle.ErrStoreClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"compacted": name})
+}
+
+// mutationStatus maps an ApplyEdges failure to (status, Retry-After). The
+// two retryable degradations carry Retry-After so well-behaved writers back
+// off instead of hammering: budget pressure clears on the next compaction
+// (fast), a wedged log clears on a successful heal rewrite (slower).
+func mutationStatus(err error) (status int, retryAfter string) {
+	var be *grazelle.DeltaBudgetError
+	var we *grazelle.WALWedgedError
+	switch {
+	case errors.As(err, &be):
+		return http.StatusTooManyRequests, "1"
+	case errors.As(err, &we):
+		return http.StatusServiceUnavailable, "2"
+	case errors.Is(err, grazelle.ErrMutationConflict):
+		return http.StatusConflict, ""
+	case errors.Is(err, grazelle.ErrGraphNotFound):
+		return http.StatusNotFound, ""
+	case errors.Is(err, grazelle.ErrStoreClosed):
+		return http.StatusServiceUnavailable, ""
+	default:
+		return http.StatusBadRequest, ""
+	}
 }
 
 // handleApps enumerates the registered applications with their parameter

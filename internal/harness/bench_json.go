@@ -56,6 +56,7 @@ type BenchSnapshot struct {
 	RegistryAB    []RegistryABResult    `json:"registry_ab,omitempty"`
 	CacheAB       []CacheABResult       `json:"cache_ab,omitempty"`
 	PartitionAB   []PartitionABResult   `json:"partition_ab,omitempty"`
+	WALBench      []WALBenchResult      `json:"wal_bench,omitempty"`
 }
 
 // registryBenchApps are the registry-dispatched apps benchmarked on the
@@ -204,6 +205,13 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			return err
 		}
 		snap.PartitionAB = rows
+	}
+	if cfg.WALBench {
+		rows, err := WALBench(cfg)
+		if err != nil {
+			return err
+		}
+		snap.WALBench = rows
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

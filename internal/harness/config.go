@@ -33,6 +33,9 @@ type Config struct {
 	// PartitionAB adds the partitioned-vs-monolithic coordinator A/B rows
 	// to BenchJSON snapshots (see PartitionAB).
 	PartitionAB bool
+	// WALBench adds streaming-mutation write-throughput and recovery-replay
+	// rows to BenchJSON snapshots (see WALBench).
+	WALBench bool
 	// Datasets restricts the sweep; nil means all six.
 	Datasets []gen.Dataset
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"os"
-	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -150,7 +149,7 @@ func TestCorruptSnapshotQuarantinedAndHealed(t *testing.T) {
 
 	// Flip bytes in the middle of the snapshot: the header stays plausible,
 	// so corruption surfaces as a truncation/validation failure.
-	snap := filepath.Join(dir, "g"+snapshotExt)
+	snap := findSnapshot(t, dir, "g")
 	data, err := os.ReadFile(snap)
 	if err != nil {
 		t.Fatal(err)

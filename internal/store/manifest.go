@@ -12,26 +12,42 @@ import (
 )
 
 // The snapshot layout under DataDir is one binary graph file per registered
-// name plus a manifest describing them:
+// name, an optional delta log of streaming mutations, and a manifest
+// describing them:
 //
 //	<data-dir>/
-//	    manifest.json      {"version":1,"graphs":[{"name":...,"file":...},...]}
-//	    <name>.grzg        graph.WriteFile binary format (GRZG v1)
+//	    manifest.json      {"version":2,"next_lineage":N,"graphs":[...]}
+//	    <name>.<L>.grzg    graph.WriteFile binary format (GRZG v1)
+//	    <name>.wal         edge delta log (GRZW v1, see internal/graph)
 //
 // Both the manifest and each snapshot are written to a temporary file and
 // renamed into place, so readers never observe a torn file; a crash mid-write
 // leaves at worst a stale *.tmp alongside a consistent previous state.
-
+//
+// L is the graph's lineage: a store-wide counter minted fresh on every Add
+// (never reused, persisted as next_lineage) that names one base-graph
+// ancestry. The delta log's header carries the lineage it was written
+// against, and snapshot filenames embed it, which is what makes whole-graph
+// replacement crash-consistent alongside the WAL: a replace writes the new
+// snapshot under a new lineage-qualified name and then commits by manifest
+// rename, so at any crash point the manifest, the snapshot it references,
+// and the lineage check in the WAL agree — a stale delta log from the
+// replaced lineage is detected and discarded at open, never replayed onto
+// the new base. Files the manifest no longer references are orphans from
+// such crash windows; Open sweeps them.
 const (
-	manifestVersion = 1
+	manifestVersion = 2
 	manifestFile    = "manifest.json"
 	snapshotExt     = ".grzg"
 )
 
 // manifest is the on-disk index of persisted graphs.
 type manifest struct {
-	Version int             `json:"version"`
-	Graphs  []manifestEntry `json:"graphs"`
+	Version int `json:"version"`
+	// NextLineage persists the lineage counter so a lineage is never reused
+	// across restarts, even for deleted names.
+	NextLineage uint64          `json:"next_lineage,omitempty"`
+	Graphs      []manifestEntry `json:"graphs"`
 }
 
 // manifestEntry records one persisted graph. File is relative to the data
@@ -43,9 +59,53 @@ type manifestEntry struct {
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Weighted bool   `json:"weighted"`
+	// Lineage is the base-graph ancestry the snapshot (and any delta log)
+	// belongs to; 0 in version-1 manifests, assigned at load.
+	Lineage uint64 `json:"lineage,omitempty"`
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, manifestFile) }
+
+// snapshotFileName is the lineage-qualified file name new snapshot writes
+// use. Legacy (version-1) manifests reference plain <name>.grzg files; those
+// paths keep working and migrate to the qualified form on the next rewrite.
+func snapshotFileName(name string, lineage uint64) string {
+	return fmt.Sprintf("%s.%d%s", name, lineage, snapshotExt)
+}
+
+// walFileName is the delta log file name for a graph.
+func walFileName(name string) string { return name + walExt }
+
+// sweepOrphansLocked removes data-directory files that belong to no
+// registered graph: snapshots and delta logs stranded by a crash inside a
+// replace/compact commit window, and stale *.tmp rename leftovers.
+// Quarantined files (snapshot or WAL) are preserved for post-mortem.
+// Callers hold s.mu; errors are ignored — orphans are garbage, not state.
+func (s *Store) sweepOrphansLocked() {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return
+	}
+	live := make(map[string]bool, 2*len(s.graphs))
+	for _, e := range s.graphs {
+		if e.snapshot != "" {
+			live[filepath.Base(e.snapshot)] = true
+		}
+		live[walFileName(e.name)] = true
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || live[name] || name == manifestFile {
+			continue
+		}
+		switch {
+		case filepath.Ext(name) == ".tmp",
+			filepath.Ext(name) == snapshotExt,
+			filepath.Ext(name) == walExt:
+			os.Remove(filepath.Join(s.cfg.DataDir, name))
+		}
+	}
+}
 
 // loadManifest reads the manifest, treating a missing file as empty.
 func loadManifest(path string) (*manifest, error) {
@@ -60,7 +120,9 @@ func loadManifest(path string) (*manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("store: parsing %s: %w", path, err)
 	}
-	if m.Version != manifestVersion {
+	// Version 1 (pre-lineage) loads fine: entries carry Lineage 0 and Open
+	// assigns them fresh lineages before first use.
+	if m.Version != manifestVersion && m.Version != 1 {
 		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, manifestVersion)
 	}
 	return &m, nil
@@ -72,7 +134,7 @@ func (s *Store) syncManifestLocked() error {
 	if s.cfg.DataDir == "" {
 		return nil
 	}
-	m := manifest{Version: manifestVersion}
+	m := manifest{Version: manifestVersion, NextLineage: s.nextLineage}
 	for _, e := range s.graphs {
 		if e.snapshot == "" {
 			continue
@@ -83,6 +145,7 @@ func (s *Store) syncManifestLocked() error {
 			Vertices: e.vertices,
 			Edges:    e.edges,
 			Weighted: e.weighted,
+			Lineage:  e.lineage,
 		})
 	}
 	sort.Slice(m.Graphs, func(i, j int) bool { return m.Graphs[i].Name < m.Graphs[j].Name })

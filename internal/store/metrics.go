@@ -71,6 +71,53 @@ func (s *Store) registerMetrics() {
 		return s.runs
 	})
 
+	// Streaming-mutation families: counters read the same atomic cells
+	// Stats().WAL reports; gauges scan the per-graph delta-log mirrors.
+	r.CounterFunc("grazelle_wal_appends_total", "Acknowledged (durable) mutation batches.", nil, s.walc.appends.Load)
+	r.CounterFunc("grazelle_wal_append_errors_total", "Rejected or rolled-back mutation batches.", nil, s.walc.appendErrors.Load)
+	r.CounterFunc("grazelle_wal_fsyncs_total", "Delta-log group commits.", nil, s.walc.fsyncs.Load)
+	r.CounterFunc("grazelle_wal_fsync_errors_total", "Failed delta-log syncs (each rolls back its group).", nil, s.walc.fsyncErrors.Load)
+	r.CounterFunc("grazelle_wal_replayed_batches_total", "Mutation batches replayed from disk at open.", nil, s.walc.replayed.Load)
+	r.CounterFunc("grazelle_wal_torn_tails_total", "Torn delta-log tails truncated at open.", nil, s.walc.tornTails.Load)
+	r.CounterFunc("grazelle_wal_quarantined_segments_total", "Corrupt delta-log segments moved aside.", nil, s.walc.quarantined.Load)
+	r.CounterFunc("grazelle_wal_rotations_total", "Delta-log rewrites (compaction and healing).", nil, s.walc.rotations.Load)
+	r.CounterFunc("grazelle_wal_healed_total", "Wedged delta logs recovered by rewrite.", nil, s.walc.healed.Load)
+	r.GaugeFunc("grazelle_wal_wedged", "Graphs whose delta log is refusing writes pending heal.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, e := range s.graphs {
+			if e.delta != nil && e.delta.wedgedFlag.Load() != 0 {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("grazelle_wal_tail_bytes", "Acknowledged un-compacted overlay bytes across graphs.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var b int64
+		for _, e := range s.graphs {
+			if e.delta != nil {
+				b += e.delta.tailBytes.Load()
+			}
+		}
+		return float64(b)
+	})
+	r.GaugeFunc("grazelle_wal_tail_batches", "Acknowledged un-compacted mutation batches across graphs.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, e := range s.graphs {
+			if e.delta != nil {
+				n += e.delta.tailBatches.Load()
+			}
+		}
+		return float64(n)
+	})
+	r.CounterFunc("grazelle_store_compactions_total", "Mutation overlays folded into fresh snapshots.", nil, s.compactions.Load)
+	r.CounterFunc("grazelle_store_compact_errors_total", "Failed compaction attempts (retried with backoff).", nil, s.compactErrors.Load)
+
 	r.GaugeFunc("grazelle_admission_inflight", "Admitted, unreleased queries.", nil, func() float64 {
 		return float64(s.adm.InFlight())
 	})

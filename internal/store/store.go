@@ -32,6 +32,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -91,6 +92,15 @@ type Config struct {
 	// sched.ErrWatchdogKilled. Zero disables the respective limit; both zero
 	// disables the watchdog entirely.
 	SoftRunLimit, HardRunLimit time.Duration
+	// DeltaBudget soft-caps the bytes of acknowledged, un-compacted edge
+	// mutations a graph's delta log may hold: past it ApplyEdges refuses with
+	// a *DeltaBudgetError (backpressure; reads keep serving) until compaction
+	// folds the tail into the snapshot. 0 means unlimited.
+	DeltaBudget int64
+	// CompactAfter is the delta-tail size (bytes) at which the background
+	// compactor is nudged to fold a graph's mutations into a fresh snapshot.
+	// 0 disables size-triggered compaction (explicit Compact still works).
+	CompactAfter int64
 	// Engine supplies base engine options for every graph's runner. Pool,
 	// Workers, Topology, and OnRelease are managed by the store and
 	// ignored if set.
@@ -114,12 +124,16 @@ type Store struct {
 	runs      uint64
 	closed    bool
 	// nextVersion numbers graph versions: every Add (including a replace and
-	// the cold registrations at Open) gets the next value, so versions are
-	// unique and monotonic across the whole store — a version is never
-	// reused, even when a name is deleted and re-added.
+	// the cold registrations at Open), every durable mutation batch, and
+	// every compaction gets the next value, so versions are unique and
+	// monotonic across the whole store — a version is never reused, even
+	// when a name is deleted and re-added.
 	nextVersion uint64
-	// onRetire holds the version-retirement subscribers (see OnRetire).
-	onRetire []RetireFunc
+	// nextLineage numbers base-graph ancestries (see manifest.go); persisted
+	// in the manifest so a lineage is never reused across restarts.
+	nextLineage uint64
+	// onRetire holds the version-retirement subscribers (see OnRetireReason).
+	onRetire []RetireReasonFunc
 	// rehydrateRetries counts transient rehydration retries (monotonic);
 	// rehydrations counts successful snapshot loads; quarantined counts
 	// snapshots moved aside as corrupt; rehydrateStreak is the current run
@@ -128,6 +142,17 @@ type Store struct {
 	rehydrations     uint64
 	quarantined      uint64
 	rehydrateStreak  int
+
+	// walc aggregates delta-log activity across all graphs (atomics; see
+	// wal.go). compactions/compactErrors count snapshot folds.
+	walc          walCounters
+	compactions   atomic.Uint64
+	compactErrors atomic.Uint64
+	// compactCh feeds the background compactor; compactStop ends it and
+	// compactDone confirms exit (see compact.go).
+	compactCh   chan string
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// reg is the store-owned metric registry (see metrics.go); immutable
 	// after Open.
@@ -143,9 +168,26 @@ type entry struct {
 	weighted bool
 	snapshot string // absolute snapshot path, "" when none
 	// version is the store-wide version number assigned when the entry was
-	// registered. Immutable; eviction to cold and rehydration keep it, only
-	// Add-replace and Delete retire it.
+	// registered. Immutable; eviction to cold and rehydration keep it. Only
+	// retirement — Add-replace, Delete, a durable mutation batch, or a
+	// compaction — ends it.
 	version uint64
+	// lineage is the base-graph ancestry (immutable; changes only via
+	// Add-replace, which creates a new entry). delta is the name's shared
+	// mutation log — successor entries of the same lineage share the pointer.
+	lineage uint64
+	delta   *deltaLog
+	// viewSeq is the delta-log sequence number this entry's view includes:
+	// Acquire serves the base snapshot merged with acknowledged batches
+	// through viewSeq, exclusive of anything later. Immutable — a newer
+	// watermark publishes a successor entry.
+	viewSeq uint64
+	// seed, when non-nil, is a predecessor's materialized graph captured at
+	// publish time: materialization may start from it instead of the disk
+	// snapshot because the overlay merge is replay-idempotent (applying the
+	// view's full op range to any intermediate merge of a prefix yields
+	// bit-identical edges). Cleared once materialized. Guarded by load.
+	seed *graph.Graph
 
 	// load serializes rehydration (single-flight): hold a provisional
 	// refcount before locking it so the entry cannot be evicted under the
@@ -213,25 +255,39 @@ func Open(cfg Config) (*Store, error) {
 		s.watchdog = sched.NewWatchdog(cfg.SoftRunLimit, cfg.HardRunLimit)
 	}
 	s.registerMetrics()
+	fail := func(err error) (*Store, error) {
+		s.watchdog.Close()
+		s.pool.Close()
+		return nil, err
+	}
+	var needCompact []string
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
-			s.watchdog.Close()
-			s.pool.Close()
-			return nil, err
+			return fail(err)
 		}
 		m, err := loadManifest(manifestPath(cfg.DataDir))
 		if err != nil {
-			s.watchdog.Close()
-			s.pool.Close()
-			return nil, err
+			return fail(err)
 		}
+		s.nextLineage = m.NextLineage
 		for _, me := range m.Graphs {
 			if !ValidName(me.Name) {
-				s.watchdog.Close()
-				s.pool.Close()
-				return nil, fmt.Errorf("store: manifest entry has invalid name %q", me.Name)
+				return fail(fmt.Errorf("store: manifest entry has invalid name %q", me.Name))
 			}
+			if me.Lineage > s.nextLineage {
+				s.nextLineage = me.Lineage
+			}
+		}
+		for _, me := range m.Graphs {
 			s.nextVersion++
+			lineage := me.Lineage
+			if lineage == 0 {
+				// Version-1 manifest entry: assign a fresh lineage (no delta
+				// log can exist yet, so any *.wal match is stale and the
+				// lineage check below discards it).
+				s.nextLineage++
+				lineage = s.nextLineage
+			}
 			s.graphs[me.Name] = &entry{
 				name:     me.Name,
 				vertices: me.Vertices,
@@ -239,8 +295,35 @@ func Open(cfg Config) (*Store, error) {
 				weighted: me.Weighted,
 				snapshot: filepath.Join(cfg.DataDir, me.File),
 				version:  s.nextVersion,
+				lineage:  lineage,
 			}
 		}
+		// Replay each graph's delta log: acknowledged batches become the
+		// entry's overlay view, torn tails are truncated, corrupt segments
+		// quarantined (with the legible prefix re-logged and scheduled for
+		// compaction), and stale-lineage logs discarded.
+		for _, e := range s.graphs {
+			l, rec, err := openDeltaLog(e.name, filepath.Join(cfg.DataDir, walFileName(e.name)), e.lineage, &s.walc)
+			if err != nil {
+				return fail(err)
+			}
+			e.delta = l
+			e.viewSeq = l.ackedSeq()
+			if rec.NeedCompact {
+				needCompact = append(needCompact, e.name)
+			}
+		}
+		s.sweepOrphansLocked()
+		if err := s.syncManifestLocked(); err != nil {
+			return fail(err)
+		}
+	}
+	s.compactCh = make(chan string, 64)
+	s.compactStop = make(chan struct{})
+	s.compactDone = make(chan struct{})
+	go s.compactLoop()
+	for _, name := range needCompact {
+		s.requestCompact(name)
 	}
 	return s, nil
 }
@@ -255,7 +338,18 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	logs := make([]*deltaLog, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		if e.delta != nil {
+			logs = append(logs, e.delta)
+		}
+	}
 	s.mu.Unlock()
+	close(s.compactStop)
+	<-s.compactDone
+	for _, l := range logs {
+		l.close(false)
+	}
 	s.watchdog.Close()
 	s.pool.Close()
 	return nil
@@ -298,6 +392,13 @@ func (s *Store) tick() uint64 {
 // closes) and new Acquires see g. When a data directory is configured the
 // graph is snapshotted before it becomes visible, so a crash never leaves
 // the manifest pointing at a missing file.
+//
+// A replace mints a fresh lineage: the snapshot lands under a new
+// lineage-qualified file name and the manifest rename is the commit point,
+// after which the old lineage's snapshot and delta log are dead — removed
+// here, or detected (stale lineage / orphan) and discarded at the next Open
+// if a crash interrupts the cleanup. Mutations previously applied to the
+// replaced graph do not carry over; the replacement supersedes them.
 func (s *Store) Add(name string, g *graph.Graph) error {
 	if !ValidName(name) {
 		return fmt.Errorf("store: invalid graph name %q", name)
@@ -305,23 +406,36 @@ func (s *Store) Add(name string, g *graph.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.nextLineage++
+	lineage := s.nextLineage
+	s.mu.Unlock()
+
 	e := &entry{
 		name:     name,
 		vertices: g.NumVertices,
 		edges:    g.NumEdges(),
 		weighted: g.Weighted,
+		lineage:  lineage,
 		src:      g,
 	}
 	cg := core.BuildGraph(g)
 	e.runner = core.NewRunner(cg, s.runnerOptions(e))
 	e.bytes = cg.MemoryBytes() + g.MemoryBytes()
+	var walPath string
 	if s.cfg.DataDir != "" {
-		path := filepath.Join(s.cfg.DataDir, name+snapshotExt)
+		path := filepath.Join(s.cfg.DataDir, snapshotFileName(name, lineage))
 		if err := writeSnapshot(path, g); err != nil {
 			return fmt.Errorf("store: snapshotting %q: %w", name, err)
 		}
 		e.snapshot = path
+		walPath = filepath.Join(s.cfg.DataDir, walFileName(name))
 	}
+	e.delta = newDeltaLog(name, walPath, lineage, &s.walc)
 	var retired *entry
 	err := func() error {
 		s.mu.Lock()
@@ -342,37 +456,76 @@ func (s *Store) Add(name string, g *graph.Graph) error {
 		return s.syncManifestLocked()
 	}()
 	if retired != nil {
-		s.notifyRetire(retired.name, retired.version)
+		// The commit point is behind us: the old lineage's delta log and
+		// snapshot are unreachable. Remove them (a crash before this is
+		// caught by the lineage check and orphan sweep at Open).
+		if retired.delta != nil {
+			retired.delta.close(true)
+		}
+		if retired.snapshot != "" && retired.snapshot != e.snapshot {
+			os.Remove(retired.snapshot)
+		}
+		s.notifyRetire(retired.name, retired.version, RetireReplace)
 	}
 	return err
 }
 
+// RetireReason states why a graph version left the registry.
+type RetireReason string
+
+const (
+	// RetireReplace: a new Add superseded the version (new lineage).
+	RetireReplace RetireReason = "replace"
+	// RetireDelete: Delete removed the name entirely.
+	RetireDelete RetireReason = "delete"
+	// RetireMutate: a durable edge-mutation batch advanced the name to a new
+	// version whose view includes the batch.
+	RetireMutate RetireReason = "mutate"
+	// RetireCompact: the compactor folded the delta overlay into a fresh
+	// snapshot and republished the name under a new version. The served
+	// edge set is bit-identical across this transition.
+	RetireCompact RetireReason = "compact"
+)
+
 // RetireFunc observes one graph version leaving the registry (see OnRetire).
 type RetireFunc func(name string, version uint64)
 
+// RetireReasonFunc additionally receives why the version retired (see
+// OnRetireReason).
+type RetireReasonFunc func(name string, version uint64, reason RetireReason)
+
 // OnRetire registers fn to be called every time a graph version is retired —
-// replaced by a new Add or removed by Delete. Retirement means the (name,
-// version) pair will never be served again (new Acquires only see newer
-// versions), so any state derived from it — most importantly cached query
-// results — can be dropped. Eviction to cold does not retire: the entry
-// keeps its version across rehydration.
+// replaced by a new Add, removed by Delete, superseded by a durable mutation
+// batch, or republished by compaction. Retirement means the (name, version)
+// pair will never be served again (new Acquires only see newer versions), so
+// any state derived from it — most importantly cached query results — can be
+// dropped. Eviction to cold does not retire: the entry keeps its version
+// across rehydration.
 //
-// fn runs synchronously on the goroutine performing the Add or Delete, after
+// fn runs synchronously on the goroutine performing the retirement, after
 // the registry update, with no store locks held; it must be safe for
-// concurrent use. Register subscribers before serving traffic.
+// concurrent use. Register subscribers before serving traffic. Subscribers
+// that care why the version ended (compaction republishes identical
+// content, deletion does not) should use OnRetireReason instead.
 func (s *Store) OnRetire(fn RetireFunc) {
+	s.OnRetireReason(func(name string, version uint64, _ RetireReason) { fn(name, version) })
+}
+
+// OnRetireReason is OnRetire with the retirement reason: replace, delete,
+// mutate, or compact. Same invocation contract as OnRetire.
+func (s *Store) OnRetireReason(fn RetireReasonFunc) {
 	s.mu.Lock()
 	s.onRetire = append(s.onRetire, fn)
 	s.mu.Unlock()
 }
 
 // notifyRetire invokes the retirement subscribers without holding s.mu.
-func (s *Store) notifyRetire(name string, version uint64) {
+func (s *Store) notifyRetire(name string, version uint64, reason RetireReason) {
 	s.mu.Lock()
 	subs := s.onRetire
 	s.mu.Unlock()
 	for _, fn := range subs {
-		fn(name, version)
+		fn(name, version, reason)
 	}
 }
 
@@ -421,7 +574,7 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 			s.release(e)
 			return nil, ce
 		}
-		g, err := s.rehydrate(e)
+		g, err := s.materialize(e)
 		if err != nil {
 			e.load.Unlock()
 			s.release(e)
@@ -432,6 +585,8 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 		bytes := cg.MemoryBytes() + g.MemoryBytes()
 		s.mu.Lock()
 		e.src, e.runner, e.bytes = g, runner, bytes
+		e.seed = nil
+		e.vertices, e.edges = g.NumVertices, g.NumEdges()
 		s.resident += bytes
 		s.ensureBudgetLocked()
 		s.mu.Unlock()
@@ -439,6 +594,31 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 	h := &Handle{s: s, e: e, runner: e.runner, src: e.src}
 	e.load.Unlock()
 	return h, nil
+}
+
+// materialize produces e's served graph: the base — a predecessor's
+// materialized view when one was captured at publish time, the disk snapshot
+// otherwise — merged with the delta log's acknowledged operations through
+// e.viewSeq. The merge is the single-threaded canonical graph.ApplyEdgeOps,
+// so the result is a plain graph the engine preprocesses and partitions like
+// any other: bit-determinism at any worker or partition count is inherited,
+// not re-proven. Replay idempotence makes the two base choices equivalent —
+// re-applying operations a seed already contains changes nothing. The
+// caller holds e.load.
+func (s *Store) materialize(e *entry) (*graph.Graph, error) {
+	g := e.seed
+	if g == nil {
+		var err error
+		if g, err = s.rehydrate(e); err != nil {
+			return nil, err
+		}
+	}
+	if e.delta != nil {
+		if ops := e.delta.opsThrough(e.viewSeq); len(ops) > 0 {
+			g = graph.ApplyEdgeOps(g, ops)
+		}
+	}
+	return g, nil
 }
 
 // Delete unregisters the named graph and removes its snapshot. In-flight
@@ -465,7 +645,10 @@ func (s *Store) Delete(name string) error {
 		return s.syncManifestLocked()
 	}()
 	if retired != nil {
-		s.notifyRetire(retired.name, retired.version)
+		if retired.delta != nil {
+			retired.delta.close(true)
+		}
+		s.notifyRetire(retired.name, retired.version, RetireDelete)
 	}
 	return err
 }
@@ -482,7 +665,7 @@ func (s *Store) Snapshot(name string) error {
 		return err
 	}
 	defer h.Close()
-	path := filepath.Join(s.cfg.DataDir, name+snapshotExt)
+	path := filepath.Join(s.cfg.DataDir, snapshotFileName(name, h.e.lineage))
 	if err := writeSnapshot(path, h.src); err != nil {
 		return fmt.Errorf("store: snapshotting %q: %w", name, err)
 	}
@@ -526,6 +709,7 @@ func (s *Store) freeLocked(e *entry) {
 	e.bytes = 0
 	e.runner = nil
 	e.src = nil
+	e.seed = nil
 }
 
 // ensureBudgetLocked evicts least-recently-used idle entries until the
@@ -555,7 +739,7 @@ func (s *Store) ensureBudgetLocked() {
 		}
 		if victim.snapshot == "" {
 			// Spill to disk before dropping the only copy.
-			path := filepath.Join(s.cfg.DataDir, victim.name+snapshotExt)
+			path := filepath.Join(s.cfg.DataDir, snapshotFileName(victim.name, victim.lineage))
 			if err := writeSnapshot(path, victim.src); err != nil {
 				return
 			}
@@ -589,6 +773,12 @@ type GraphInfo struct {
 	// current version.
 	Refs int    `json:"refs"`
 	Runs uint64 `json:"runs"`
+	// DeltaBatches/DeltaBytes describe the acknowledged, un-compacted
+	// mutation tail overlaid on the base snapshot; WALWedged reports that
+	// the graph's delta log is refusing writes pending a heal.
+	DeltaBatches int64 `json:"delta_batches,omitempty"`
+	DeltaBytes   int64 `json:"delta_bytes,omitempty"`
+	WALWedged    bool  `json:"wal_wedged,omitempty"`
 }
 
 // List returns every registered graph, sorted by name.
@@ -597,7 +787,7 @@ func (s *Store) List() []GraphInfo {
 	defer s.mu.Unlock()
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for _, e := range s.graphs {
-		out = append(out, GraphInfo{
+		gi := GraphInfo{
 			Name:        e.name,
 			Vertices:    e.vertices,
 			Edges:       e.edges,
@@ -609,7 +799,13 @@ func (s *Store) List() []GraphInfo {
 			Quarantined: e.corrupt != nil,
 			Refs:        e.refs,
 			Runs:        e.runs,
-		})
+		}
+		if e.delta != nil {
+			gi.DeltaBatches = e.delta.tailBatches.Load()
+			gi.DeltaBytes = e.delta.tailBytes.Load()
+			gi.WALWedged = e.delta.wedgedFlag.Load() != 0
+		}
+		out = append(out, gi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -643,6 +839,39 @@ type Stats struct {
 	PoolPanics       uint64 `json:"pool_panics"`
 	// Watchdog summarizes the run watchdog (nil when disabled).
 	Watchdog *sched.WatchdogStats `json:"watchdog,omitempty"`
+	// WAL summarizes the streaming-mutation subsystem across all graphs.
+	WAL WALStats `json:"wal"`
+}
+
+// WALStats summarizes delta-log and compaction activity. The counter cells
+// are the same atomics the grazelle_wal_* metric families render, so the
+// two views always agree.
+type WALStats struct {
+	// Appends counts acknowledged (durable) mutation batches; AppendErrors
+	// counts rejected or rolled-back ones.
+	Appends      uint64 `json:"appends"`
+	AppendErrors uint64 `json:"append_errors"`
+	// Fsyncs counts group commits; one fsync may acknowledge many batches.
+	Fsyncs      uint64 `json:"fsyncs"`
+	FsyncErrors uint64 `json:"fsync_errors"`
+	// ReplayedBatches counts batches recovered from disk at open; TornTails
+	// and QuarantinedSegments count the repairs made along the way.
+	ReplayedBatches     uint64 `json:"replayed_batches"`
+	TornTails           uint64 `json:"torn_tails"`
+	QuarantinedSegments uint64 `json:"quarantined_segments"`
+	// Rotations counts log rewrites (compaction and healing); Healed counts
+	// wedged logs recovered.
+	Rotations uint64 `json:"rotations"`
+	Healed    uint64 `json:"healed"`
+	// Wedged counts graphs currently refusing writes; TailBytes/TailBatches
+	// total the acknowledged un-compacted overlay across graphs.
+	Wedged      int   `json:"wedged"`
+	TailBytes   int64 `json:"tail_bytes"`
+	TailBatches int64 `json:"tail_batches"`
+	// Compactions counts overlay folds into fresh snapshots; CompactErrors
+	// counts failed attempts (retried with backoff).
+	Compactions   uint64 `json:"compactions"`
+	CompactErrors uint64 `json:"compact_errors"`
 }
 
 // Stats returns a consistent snapshot of the store's load.
@@ -675,5 +904,35 @@ func (s *Store) Stats() Stats {
 			st.Resident++
 		}
 	}
+	st.WAL = s.walStatsLocked()
 	return st
+}
+
+// walStatsLocked assembles the WAL summary: counters from the shared cells,
+// gauges by scanning each graph's delta log mirrors. Callers hold s.mu.
+func (s *Store) walStatsLocked() WALStats {
+	w := WALStats{
+		Appends:             s.walc.appends.Load(),
+		AppendErrors:        s.walc.appendErrors.Load(),
+		Fsyncs:              s.walc.fsyncs.Load(),
+		FsyncErrors:         s.walc.fsyncErrors.Load(),
+		ReplayedBatches:     s.walc.replayed.Load(),
+		TornTails:           s.walc.tornTails.Load(),
+		QuarantinedSegments: s.walc.quarantined.Load(),
+		Rotations:           s.walc.rotations.Load(),
+		Healed:              s.walc.healed.Load(),
+		Compactions:         s.compactions.Load(),
+		CompactErrors:       s.compactErrors.Load(),
+	}
+	for _, e := range s.graphs {
+		if e.delta == nil {
+			continue
+		}
+		w.TailBytes += e.delta.tailBytes.Load()
+		w.TailBatches += e.delta.tailBatches.Load()
+		if e.delta.wedgedFlag.Load() != 0 {
+			w.Wedged++
+		}
+	}
+	return w
 }

@@ -217,8 +217,8 @@ func TestSnapshotRehydrateAcrossReopen(t *testing.T) {
 	h.Close()
 	s1.Close()
 
-	if _, err := os.Stat(filepath.Join(dir, "pr"+snapshotExt)); err != nil {
-		t.Fatalf("snapshot file: %v", err)
+	if snap := findSnapshot(t, dir, "pr"); snap == "" {
+		t.Fatal("snapshot file missing after Add")
 	}
 
 	s2, err := Open(Config{DataDir: dir, Workers: 2})

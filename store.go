@@ -26,6 +26,10 @@ var (
 	ErrOverloaded     = store.ErrOverloaded
 	ErrWatchdogKilled = sched.ErrWatchdogKilled
 	ErrCorruptGraph   = graph.ErrCorrupt
+	// ErrMutationConflict reports a mutation batch that raced an Add-replace
+	// or Delete of its graph and was not applied; retry against the new graph
+	// if still meaningful.
+	ErrMutationConflict = store.ErrMutationConflict
 )
 
 // Fault-containment types, re-exported from the internal layers.
@@ -42,6 +46,32 @@ type (
 	RehydrateError = store.RehydrateError
 	// WatchdogStats summarizes the run watchdog in StoreStats.
 	WatchdogStats = sched.WatchdogStats
+
+	// EdgeOp is one streaming edge mutation: an insert/re-weight (Delete
+	// false) or removal (Delete true) of the directed edge Src→Dst. Within a
+	// batch the last op for a (Src, Dst) pair wins.
+	EdgeOp = graph.EdgeOp
+	// DeltaBudgetError reports a mutation batch refused because the graph's
+	// un-compacted overlay is over budget; compaction has been scheduled and
+	// the write should be retried shortly (HTTP layers map it to 429).
+	DeltaBudgetError = store.DeltaBudgetError
+	// WALWedgedError reports a mutation batch refused because the graph's
+	// delta log is wedged after an unrecoverable sync failure; healing
+	// retries in the background and reads keep serving (HTTP: 503).
+	WALWedgedError = store.WALWedgedError
+	// WALStats summarizes streaming-mutation durability in StoreStats.
+	WALStats = store.WALStats
+	// RetireReason says why a graph version was retired; see the Retire*
+	// constants.
+	RetireReason = store.RetireReason
+)
+
+// Reasons passed to OnRetireReason callbacks.
+const (
+	RetireReplace = store.RetireReplace // Add replaced the graph
+	RetireDelete  = store.RetireDelete  // Delete removed the graph
+	RetireMutate  = store.RetireMutate  // ApplyEdges published a successor
+	RetireCompact = store.RetireCompact // compaction folded the overlay
 )
 
 // StoreConfig configures a Store.
@@ -71,6 +101,14 @@ type StoreConfig struct {
 	// Stats, past the hard limit it is cancelled with cause
 	// ErrWatchdogKilled. Zero disables the respective limit.
 	SoftRunLimit, HardRunLimit time.Duration
+	// DeltaBudgetBytes caps the acknowledged un-compacted mutation overlay
+	// per graph: past it ApplyEdges returns a *DeltaBudgetError (and
+	// schedules compaction) until the overlay is folded. 0 means unlimited.
+	DeltaBudgetBytes int64
+	// CompactAfterBytes triggers background compaction once a graph's
+	// overlay passes this size. 0 disables size-triggered compaction
+	// (explicit Compact calls still work).
+	CompactAfterBytes int64
 	// Options supplies engine options for every graph's runner. Workers and
 	// Sockets are ignored: the store's shared pool runs a single-node
 	// topology.
@@ -97,6 +135,8 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 		RehydrateBackoff:  cfg.RehydrateBackoff,
 		SoftRunLimit:      cfg.SoftRunLimit,
 		HardRunLimit:      cfg.HardRunLimit,
+		DeltaBudget:       cfg.DeltaBudgetBytes,
+		CompactAfter:      cfg.CompactAfterBytes,
 		Engine:            cfg.Options.coreOptions(),
 	})
 	if err != nil {
@@ -138,9 +178,36 @@ func (s *Store) Snapshot(name string) error { return s.s.Snapshot(name) }
 func (s *Store) Version(name string) (uint64, error) { return s.s.Version(name) }
 
 // OnRetire registers fn to be called whenever a graph version is retired —
-// replaced by Add or removed by Delete (eviction does not retire). Callbacks
-// run outside store locks and must be safe for concurrent use.
+// replaced by Add, removed by Delete, superseded by ApplyEdges, or folded by
+// compaction (eviction does not retire). Callbacks run outside store locks
+// and must be safe for concurrent use.
 func (s *Store) OnRetire(fn func(name string, version uint64)) { s.s.OnRetire(fn) }
+
+// OnRetireReason is OnRetire with the cause of each retirement. Cache layers
+// use the reason to skip invalidation for bit-preserving retirements
+// (RetireCompact serves the same bytes under a new version).
+func (s *Store) OnRetireReason(fn func(name string, version uint64, reason RetireReason)) {
+	s.s.OnRetireReason(fn)
+}
+
+// ApplyEdges applies one batch of edge mutations to the named graph. The
+// batch is durable (WAL-fsynced, when a data directory is configured) and
+// visible to subsequent Acquires under the returned new version before
+// ApplyEdges returns; handles already held keep serving their pinned
+// versions. Within a batch the last op per (src, dst) pair wins. Returns the
+// batch's WAL sequence and the new graph version, or a typed error:
+// *DeltaBudgetError (overlay over budget; retry after compaction),
+// *WALWedgedError (delta log wedged; healing in background), or
+// ErrMutationConflict (raced a replace/delete).
+func (s *Store) ApplyEdges(name string, ops []EdgeOp) (seq, version uint64, err error) {
+	return s.s.ApplyEdges(name, ops)
+}
+
+// Compact folds the named graph's acknowledged mutation overlay into a fresh
+// base snapshot and truncates its delta log. Serving bits are unchanged —
+// the successor version is bit-identical — so compaction can run any time.
+// It also runs in the background past CompactAfterBytes.
+func (s *Store) Compact(name string) error { return s.s.Compact(name) }
 
 // StoreGraphInfo describes one registered graph.
 type StoreGraphInfo = store.GraphInfo
