@@ -2,11 +2,14 @@ package grazelle
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -838,5 +841,199 @@ func assertSameValues(t *testing.T, want []any, gotAny any, label string) {
 		if want[i] != got[i] {
 			t.Fatalf("%s: values[%d] = %v, want %v", label, i, got[i], want[i])
 		}
+	}
+}
+
+// doRaw is do returning the raw response bytes and headers — for the tests
+// that assert byte-identity between cached and fresh payloads.
+func (sc *serveClient) doRaw(method, path, body string) (int, http.Header, []byte) {
+	sc.t.Helper()
+	req, err := http.NewRequest(method, sc.base+path, strings.NewReader(body))
+	if err != nil {
+		sc.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sc.c.Do(req)
+	if err != nil {
+		sc.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		sc.t.Fatalf("%s %s: read: %v", method, path, err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// metric scrapes one counter/gauge value from GET /metrics (0 if absent).
+func (sc *serveClient) metric(name string) float64 {
+	sc.t.Helper()
+	resp, err := sc.c.Get(sc.base + "/metrics")
+	if err != nil {
+		sc.t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	s := bufio.NewScanner(resp.Body)
+	for s.Scan() {
+		fields := strings.Fields(s.Text())
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				sc.t.Fatalf("metric %s = %q: %v", name, fields[1], err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestServeIncrementalQuery drives the incremental-recompute path end to
+// end: a cold query retains its lanes as a seed, a small mutation batch
+// moves the version, and the next identical query warm-starts from the
+// predecessor — surfacing `incremental: true` plus the seed version in both
+// the response and the run record, bumping grazelle_incremental_seeded_total,
+// and still hitting the result cache byte-identically on repeat.
+func TestServeIncrementalQuery(t *testing.T) {
+	base, cmd := startServe(t, "-data-dir", t.TempDir())
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := newServeClient(t, base)
+	if code, m := sc.do("POST", "/v1/graphs", `{"name":"g","dataset":"C","scale":0.25}`); code != 200 {
+		t.Fatalf("load g: status %d body %v", code, m)
+	}
+	const query = `{"graph":"g","app":"cc","values":true}`
+
+	// Cold query: no predecessor yet, so no incremental flag; its result is
+	// offered as the seed candidate.
+	code, cold := sc.do("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("cold query: status %d body %v", code, cold)
+	}
+	if _, ok := cold["incremental"]; ok {
+		t.Fatalf("cold query claims incremental: %v", cold)
+	}
+
+	// A small insert-only batch: cc's planner accepts any such delta.
+	code, mut := sc.do("POST", "/v1/graphs/g/edges",
+		`{"ops":[{"src":1,"dst":2,"weight":1},{"src":3,"dst":4,"weight":1}]}`)
+	if code != 200 {
+		t.Fatalf("mutation: status %d body %v", code, mut)
+	}
+
+	code, hdr, raw := sc.doRaw("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("incremental query: status %d body %s", code, raw)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if inc, _ := m["incremental"].(bool); !inc {
+		t.Fatalf("query after mutation not incremental: %v", m)
+	}
+	sv, _ := m["seed_version"].(float64)
+	if sv < 1 {
+		t.Fatalf("seed_version = %v, want >= 1", m["seed_version"])
+	}
+	if _, ok := m["components"]; !ok {
+		t.Fatalf("incremental cc response missing components: %v", m)
+	}
+	if got := hdr.Get("X-Cache"); got != "miss" {
+		t.Errorf("incremental query X-Cache = %q, want miss (new version)", got)
+	}
+
+	// The run record carries the same incremental marker.
+	runID, _ := m["run_id"].(string)
+	code, rec := sc.do("GET", "/v1/runs/"+runID, "")
+	if code != 200 {
+		t.Fatalf("run record: status %d body %v", code, rec)
+	}
+	if inc, _ := rec["incremental"].(bool); !inc {
+		t.Errorf("run record not incremental: %v", rec)
+	}
+	if rsv, _ := rec["seed_version"].(float64); rsv != sv {
+		t.Errorf("record seed_version = %v, response had %v", rec["seed_version"], sv)
+	}
+
+	// Metrics: exactly one warm start, no fallback.
+	if v := sc.metric("grazelle_incremental_seeded_total"); v != 1 {
+		t.Errorf("grazelle_incremental_seeded_total = %v, want 1", v)
+	}
+	if v := sc.metric("grazelle_incremental_fallback_total"); v != 0 {
+		t.Errorf("grazelle_incremental_fallback_total = %v, want 0", v)
+	}
+
+	// Repeating the query hits the result cache with the byte-identical
+	// payload the incremental run produced.
+	code, hdr2, raw2 := sc.doRaw("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("repeat query: status %d", code)
+	}
+	if got := hdr2.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat query X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Errorf("cached payload differs from incremental payload:\n%s\n%s", raw, raw2)
+	}
+	if v := sc.metric("grazelle_incremental_seeded_total"); v != 1 {
+		t.Errorf("cache hit bumped seeded_total to %v", v)
+	}
+}
+
+// TestServeIncrementalSeedFaultFallsBack arms the core/incremental-seed
+// failpoint in the child server: the seeded run's install panics, the
+// engine degrades to a cold full recompute, and the query still answers
+// correctly — no incremental flag, the fallback counter bumped, and no
+// admission slot leaked.
+func TestServeIncrementalSeedFaultFallsBack(t *testing.T) {
+	base, cmd := startServeEnv(t,
+		[]string{"GRAZELLE_FAILPOINTS=core/incremental-seed=panic*1"},
+		"-data-dir", t.TempDir())
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := newServeClient(t, base)
+	if code, m := sc.do("POST", "/v1/graphs", `{"name":"g","dataset":"C","scale":0.25}`); code != 200 {
+		t.Fatalf("load g: status %d body %v", code, m)
+	}
+	const query = `{"graph":"g","app":"cc","values":true}`
+	if code, m := sc.do("POST", "/v1/query", query); code != 200 {
+		t.Fatalf("cold query: status %d body %v", code, m)
+	}
+	if code, m := sc.do("POST", "/v1/graphs/g/edges",
+		`{"ops":[{"src":1,"dst":2,"weight":1}]}`); code != 200 {
+		t.Fatalf("mutation: status %d body %v", code, m)
+	}
+
+	code, m := sc.do("POST", "/v1/query", query)
+	if code != 200 {
+		t.Fatalf("query under seed fault: status %d body %v", code, m)
+	}
+	if _, ok := m["incremental"]; ok {
+		t.Fatalf("faulted seed still reported incremental: %v", m)
+	}
+	// The degraded run is a full recompute: its values must match an
+	// uncached cold run of the same query.
+	code, ref := sc.do("POST", "/v1/query", `{"graph":"g","app":"cc","values":true,"no_cache":true}`)
+	if code != 200 {
+		t.Fatalf("reference query: status %d body %v", code, ref)
+	}
+	assertSameValues(t, ref["values"].([]any), m["values"], "fallback vs cold")
+
+	if v := sc.metric("grazelle_incremental_fallback_total"); v < 1 {
+		t.Errorf("grazelle_incremental_fallback_total = %v, want >= 1", v)
+	}
+	if v := sc.metric("grazelle_incremental_seeded_total"); v != 0 {
+		t.Errorf("grazelle_incremental_seeded_total = %v, want 0", v)
+	}
+	code, st := sc.do("GET", "/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	if inf, _ := st["in_flight"].(float64); inf != 0 {
+		t.Errorf("stats in_flight = %v after seed fault, want 0", st["in_flight"])
 	}
 }

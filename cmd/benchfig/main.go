@@ -39,6 +39,7 @@ func run() error {
 		cacheAB  = flag.Bool("cache-ab", false, "include query-result-cache cold/warm A/B rows in the -bench-json snapshot")
 		partAB   = flag.Bool("partition-ab", false, "include partitioned-vs-monolithic coordinator A/B rows in the -bench-json snapshot")
 		walBench = flag.Bool("wal-bench", false, "include streaming-mutation write-throughput and recovery-replay rows in the -bench-json snapshot")
+		incrAB   = flag.Bool("incremental-ab", false, "include incremental-vs-full recompute A/B rows in the -bench-json snapshot")
 	)
 	flag.Parse()
 
@@ -50,14 +51,15 @@ func run() error {
 	}
 
 	cfg := harness.Config{
-		Scale:       *scale,
-		Workers:     *workers,
-		PRIters:     *prIters,
-		Repeats:     *repeats,
-		Quick:       *quick,
-		CacheAB:     *cacheAB,
-		PartitionAB: *partAB,
-		WALBench:    *walBench,
+		Scale:         *scale,
+		Workers:       *workers,
+		PRIters:       *prIters,
+		Repeats:       *repeats,
+		Quick:         *quick,
+		CacheAB:       *cacheAB,
+		PartitionAB:   *partAB,
+		WALBench:      *walBench,
+		IncrementalAB: *incrAB,
 	}
 	if *datasets != "" {
 		for _, ch := range *datasets {

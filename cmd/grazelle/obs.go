@@ -30,6 +30,11 @@ type serveMetrics struct {
 	runSeconds    *obs.Histogram
 	phaseSeconds  map[string]*obs.Histogram
 	tracesDropped *obs.Counter
+	// incrementalSeeded counts runs warm-started from a predecessor result;
+	// incrementalFallback counts attempts (capability + candidate + delta
+	// under threshold) that still ran cold.
+	incrementalSeeded   *obs.Counter
+	incrementalFallback *obs.Counter
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -38,6 +43,10 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		runSeconds:    reg.Histogram("grazelle_run_seconds", "Engine run wall time per query.", nil, obs.DefTimeBuckets),
 		phaseSeconds:  make(map[string]*obs.Histogram, int(obs.NumPhases)),
 		tracesDropped: reg.Counter("grazelle_run_traces_dropped_total", "Runs whose phase trace was abandoned mid-run.", nil),
+		incrementalSeeded: reg.Counter("grazelle_incremental_seeded_total",
+			"Query runs warm-started from a cached predecessor result.", nil),
+		incrementalFallback: reg.Counter("grazelle_incremental_fallback_total",
+			"Incremental attempts that fell back to a full recompute.", nil),
 	}
 	for p := obs.Phase(0); p < obs.NumPhases; p++ {
 		name := p.String()

@@ -123,6 +123,7 @@ func runServe(args []string) error {
 		partitions  = fs.Int("partitions", 0, "run queries through the partitioned coordinator with this many partitions (0 or 1 = monolithic; output is bit-identical)")
 		deltaCap    = fs.Int64("delta-budget", 64<<20, "per-graph un-compacted mutation overlay budget in bytes; past it writes get 429 until compaction (0 = unlimited)")
 		compactAt   = fs.Int64("compact-after", 16<<20, "overlay bytes that trigger background compaction (0 = only explicit /compact)")
+		incrLimit   = fs.Int("incremental-threshold", 4096, "maximum mutation-delta edge ops for incremental recompute from a cached predecessor result (0 = always recompute in full)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,20 +157,27 @@ func runServe(args []string) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	srv := &server{
-		store:      st,
-		maxTimeout: *timeout,
-		workers:    workers,
-		log:        slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
-		ring:       obs.NewTraceRing(*runHist),
-		metrics:    newServeMetrics(st.Metrics()),
+		store:         st,
+		maxTimeout:    *timeout,
+		workers:       workers,
+		incrThreshold: *incrLimit,
+		log:           slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		ring:          obs.NewTraceRing(*runHist),
+		metrics:       newServeMetrics(st.Metrics()),
 	}
 	if !*cacheBypass {
 		srv.cache = qcache.New(qcache.Config{Budget: *cacheBudget})
 		// The cache's families live in the store's registry and its entries
 		// die with their store version: /metrics, /v1/stats, and the graph
-		// lifecycle all stay in lockstep.
+		// lifecycle all stay in lockstep. Retirement is reason-aware: mutate
+		// and compact are warm (payloads die, seed candidates survive to
+		// warm-start recomputes on the successor); replace and delete are
+		// hard (the lineage is over, seeds die too).
 		srv.cache.RegisterMetrics(st.Metrics())
-		st.OnRetire(srv.cache.InvalidateVersion)
+		st.OnRetireReason(func(name string, version uint64, reason grazelle.RetireReason) {
+			warm := reason == grazelle.RetireMutate || reason == grazelle.RetireCompact
+			srv.cache.RetireVersion(name, version, warm)
+		})
 	}
 
 	switch {
@@ -250,9 +258,12 @@ type server struct {
 	cache      *qcache.Cache
 	maxTimeout time.Duration
 	workers    int
-	log        *slog.Logger
-	ring       *obs.TraceRing
-	metrics    *serveMetrics
+	// incrThreshold caps the mutation-delta size (edge ops) incremental
+	// recompute will seed across; 0 disables the path.
+	incrThreshold int
+	log           *slog.Logger
+	ring          *obs.TraceRing
+	metrics       *serveMetrics
 }
 
 func (s *server) mux() http.Handler {
@@ -665,7 +676,49 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 	runID := nextRunID()
 	start := time.Now()
 
-	res, err := eng.Run(ctx, req.App, grazelle.Params{Iters: req.Iters, Root: req.Root, K: req.K})
+	p := grazelle.Params{Iters: req.Iters, Root: req.Root, K: req.K}
+	var (
+		res         *grazelle.AppResult
+		err         error
+		ran         bool
+		incremental bool
+		seedVersion uint64
+		seedKey     string
+	)
+	// Incremental recompute: when this app can warm-start, a predecessor
+	// result is retained for these exact params, and the connecting mutation
+	// delta is recoverable and under -incremental-threshold, seed the run
+	// from the predecessor instead of cold-starting. Any failure inside
+	// degrades to the full recompute below, with the fallback counted.
+	ent, entErr := apps.Lookup(req.App)
+	canSeed := entErr == nil && ent.IncrementalSeed != nil && s.cache != nil && !req.NoCache
+	if canSeed {
+		seedKey = ent.Canonical(apps.Params{Iters: req.Iters, Root: req.Root, K: req.K})
+	}
+	if canSeed && s.incrThreshold > 0 {
+		if sv, props, ok := s.cache.SeedFor(req.Graph, req.App, seedKey); ok && sv < h.Version() {
+			if d, dok := s.store.DeltaBetween(req.Graph, sv, h.Version()); dok && len(d.Ops) <= s.incrThreshold {
+				var seeded bool
+				res, seeded, err = eng.RunIncremental(ctx, req.App, p, grazelle.SeedSpec{
+					PredProps:       props,
+					Ops:             d.Ops,
+					FromEdges:       d.FromEdges,
+					FromCountsKnown: d.FromCountsKnown,
+				})
+				ran = true
+				if seeded {
+					incremental, seedVersion = true, sv
+					s.cache.CountSeedUse()
+					s.metrics.incrementalSeeded.Inc()
+				} else {
+					s.metrics.incrementalFallback.Inc()
+				}
+			}
+		}
+	}
+	if !ran {
+		res, err = eng.Run(ctx, req.App, p)
+	}
 	var stats grazelle.Stats
 	if res != nil {
 		stats = res.Stats
@@ -687,12 +740,14 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 			Partitions: stats.PartitionStats,
 			Dropped:    stats.TraceDropped,
 		},
-		Workers:    s.workers,
-		Iters:      stats.Iterations,
-		Vertices:   int64(h.Graph().NumVertices()),
-		Edges:      int64(h.Graph().NumEdges()),
-		Mode:       stats.Mode,
-		Partitions: stats.Partitions,
+		Workers:     s.workers,
+		Iters:       stats.Iterations,
+		Vertices:    int64(h.Graph().NumVertices()),
+		Edges:       int64(h.Graph().NumEdges()),
+		Mode:        stats.Mode,
+		Partitions:  stats.Partitions,
+		Incremental: incremental,
+		SeedVersion: seedVersion,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -722,6 +777,10 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 		"partitions":      stats.Partitions,
 		"elapsed_ms":      stats.Total.Milliseconds(),
 	}
+	if incremental {
+		resp["incremental"] = true
+		resp["seed_version"] = seedVersion
+	}
 	for _, st := range res.Summary() {
 		resp[st.Key] = st.Value
 	}
@@ -735,6 +794,12 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 	// Match writeJSON's json.Encoder framing so cached and fresh responses
 	// are byte-identical.
 	payload = append(payload, '\n')
+	if canSeed {
+		// Every successful run of a seed-capable app is the next mutation's
+		// warm-start candidate — including incremental runs, so seeds chain
+		// across a stream of small batches.
+		s.cache.OfferSeed(req.Graph, req.App, seedKey, h.Version(), res.Props)
+	}
 	return qcache.Result{
 		Payload:      payload,
 		RunID:        runID,

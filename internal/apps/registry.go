@@ -97,6 +97,12 @@ type Entry struct {
 	Values func(props []uint64) any
 	// VertexText renders one vertex's value for `-o` per-vertex output.
 	VertexText func(props []uint64, v int) string
+	// IncrementalSeed, when non-nil, plans a warm start for this app from a
+	// predecessor version's result and the mutation delta connecting it to
+	// the current graph (DESIGN.md §15). A returned error means the delta
+	// violates the app's seeding preconditions; callers fall back to a full
+	// recompute. Optional — most apps leave it nil.
+	IncrementalSeed func(in SeedInput) (*SeedPlan, error)
 }
 
 // ZeroUnused returns p with every field the app does not read zeroed —
@@ -319,6 +325,7 @@ func init() {
 		VertexText: func(props []uint64, v int) string {
 			return fmt.Sprintf("%.12g", asF64(props[v]))
 		},
+		IncrementalSeed: seedRankDirect,
 	})
 
 	MustRegister(Entry{
@@ -362,6 +369,7 @@ func init() {
 		VertexText: func(props []uint64, v int) string {
 			return fmt.Sprintf("%d", uint32(props[v]))
 		},
+		IncrementalSeed: seedCC,
 	})
 
 	MustRegister(Entry{
@@ -391,6 +399,7 @@ func init() {
 			}
 			return fmt.Sprintf("%d", props[v])
 		},
+		IncrementalSeed: seedBFS,
 	})
 
 	MustRegister(Entry{
@@ -419,6 +428,7 @@ func init() {
 		VertexText: func(props []uint64, v int) string {
 			return fmt.Sprintf("%g", asF64(props[v]))
 		},
+		IncrementalSeed: seedSSSP,
 	})
 
 	MustRegister(Entry{
@@ -516,5 +526,6 @@ func init() {
 		VertexText: func(props []uint64, v int) string {
 			return fmt.Sprintf("%.12g", asF64(props[v]))
 		},
+		IncrementalSeed: seedRankDirect,
 	})
 }

@@ -458,6 +458,10 @@ type Result struct {
 	// executed with (1 = monolithic; see Options.Partitions for the
 	// configurations that fall back).
 	Partitions int
+	// Seeded reports that the run started from a warm seed (RunSeededCtx)
+	// rather than the program's cold init. False for a seeded call means the
+	// seed failed to apply and the run degraded to a cold start.
+	Seeded bool
 }
 
 // Run executes program p for at most maxIters iterations (frontier-driven
@@ -496,7 +500,7 @@ func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (
 				err = fmt.Errorf("core: run panicked after %d iterations: %w", res.Iterations, pe)
 			}
 		}()
-		res, err = runLoop(ec, p, maxIters)
+		res, err = runLoop(ec, p, maxIters, nil)
 	}()
 	res.Props = ec.props
 	ec.props = nil // ownership passes to the caller
@@ -508,12 +512,15 @@ func RunCtx[P apps.Program](ctx context.Context, r *Runner, p P, maxIters int) (
 // coord.Iteration closure bundle and handing the schedule to a Coordinator:
 // LocalCoordinator replays the monolithic loop, PartitionedCoordinator
 // scatter-gathers each phase across plan spans (see DESIGN.md §13).
-func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int) (Result, error) {
+func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int, seed *Seed) (Result, error) {
 	start := time.Now()
 	ec.Init(p)
 	var res Result
 	res.Mode = ec.opt.Mode
 	res.Partitions = ec.parts
+	if seed != nil {
+		res.Seeded = applySeed(ec, p, seed)
+	}
 	usesFrontier := p.UsesFrontier()
 
 	// density and sparseList carry per-iteration state from Begin into the

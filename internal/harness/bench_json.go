@@ -57,6 +57,7 @@ type BenchSnapshot struct {
 	CacheAB       []CacheABResult       `json:"cache_ab,omitempty"`
 	PartitionAB   []PartitionABResult   `json:"partition_ab,omitempty"`
 	WALBench      []WALBenchResult      `json:"wal_bench,omitempty"`
+	IncrementalAB []IncrementalABResult `json:"incremental_ab,omitempty"`
 }
 
 // registryBenchApps are the registry-dispatched apps benchmarked on the
@@ -212,6 +213,13 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			return err
 		}
 		snap.WALBench = rows
+	}
+	if cfg.IncrementalAB {
+		rows, err := IncrementalAB(cfg)
+		if err != nil {
+			return err
+		}
+		snap.IncrementalAB = rows
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -36,6 +36,9 @@ type Config struct {
 	// WALBench adds streaming-mutation write-throughput and recovery-replay
 	// rows to BenchJSON snapshots (see WALBench).
 	WALBench bool
+	// IncrementalAB adds the incremental-vs-full recompute A/B rows to
+	// BenchJSON snapshots (see IncrementalAB).
+	IncrementalAB bool
 	// Datasets restricts the sweep; nil means all six.
 	Datasets []gen.Dataset
 }

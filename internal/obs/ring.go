@@ -23,6 +23,10 @@ type RunRecord struct {
 	// count the run executed under (Partitions 1 = monolithic).
 	Mode       string `json:"mode,omitempty"`
 	Partitions int    `json:"partitions,omitempty"`
+	// Incremental reports that the run was warm-started from the result
+	// cached at SeedVersion instead of cold-starting.
+	Incremental bool   `json:"incremental,omitempty"`
+	SeedVersion uint64 `json:"seed_version,omitempty"`
 }
 
 // TraceRing retains the last N completed run records for GET /v1/runs.

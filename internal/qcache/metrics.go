@@ -34,4 +34,16 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("grazelle_qcache_bytes",
 		"Bytes held by resident cache entries.", nil,
 		func() float64 { return float64(c.Stats().Bytes) })
+	reg.GaugeFunc("grazelle_qcache_seed_entries",
+		"Resident incremental-seed candidates.", nil,
+		func() float64 { return float64(c.Stats().SeedEntries) })
+	reg.GaugeFunc("grazelle_qcache_seed_bytes",
+		"Bytes held by incremental-seed candidates.", nil,
+		func() float64 { return float64(c.Stats().SeedBytes) })
+	reg.CounterFunc("grazelle_qcache_seeds_used_total",
+		"Seed candidates that warm-started a run.", nil,
+		func() uint64 { return c.Stats().SeedsUsed })
+	reg.CounterFunc("grazelle_qcache_seeds_dropped_total",
+		"Seed candidates dropped by hard retirement or late offer.", nil,
+		func() uint64 { return c.Stats().SeedsDropped })
 }

@@ -84,6 +84,10 @@ type Stats struct {
 	Entries        int    `json:"entries"`
 	Bytes          int64  `json:"bytes"`
 	BudgetBytes    int64  `json:"budget_bytes"`
+	SeedEntries    int    `json:"seed_entries"`
+	SeedBytes      int64  `json:"seed_bytes"`
+	SeedsUsed      uint64 `json:"seeds_used"`
+	SeedsDropped   uint64 `json:"seeds_dropped"`
 }
 
 // Cache is the query result cache. All methods are safe for concurrent use.
@@ -98,12 +102,19 @@ type Cache struct {
 	// far. Versions are minted monotonically and never reused, so an insert
 	// at or below the tombstone is a late write for a dead version.
 	retiredMax map[string]uint64
-	flights    map[Key]*flight
+	// hardRetired is the analogous tombstone for the seed table: only hard
+	// retirements (replace, delete) advance it, so seeds survive the warm
+	// mutate/compact churn they exist to serve (see seed.go).
+	hardRetired map[string]uint64
+	seeds       map[seedKey]*seedEntry
+	seedBytes   int64
+	flights     map[Key]*flight
 
 	hits, misses, coalesced uint64
 	promotions              uint64
 	evictions, invalidated  uint64
 	insertsDropped          uint64
+	seedsUsed, seedsDropped uint64
 }
 
 type cacheEntry struct {
@@ -115,11 +126,13 @@ type cacheEntry struct {
 // New creates a Cache with the given configuration.
 func New(cfg Config) *Cache {
 	return &Cache{
-		budget:     cfg.Budget,
-		lru:        list.New(),
-		entries:    make(map[Key]*list.Element),
-		retiredMax: make(map[string]uint64),
-		flights:    make(map[Key]*flight),
+		budget:      cfg.Budget,
+		lru:         list.New(),
+		entries:     make(map[Key]*list.Element),
+		retiredMax:  make(map[string]uint64),
+		hardRetired: make(map[string]uint64),
+		seeds:       make(map[seedKey]*seedEntry),
+		flights:     make(map[Key]*flight),
 	}
 }
 
@@ -209,24 +222,13 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.bytes -= e.bytes
 }
 
-// InvalidateVersion drops every entry for the named graph at or below the
-// retired version and advances the graph's tombstone so late inserts for it
-// are discarded. Wire it to Store.OnRetire.
+// InvalidateVersion is the hard-retirement path of RetireVersion: drop every
+// entry for the named graph at or below the retired version, advance both
+// tombstones, and discard seed candidates. Callers that can distinguish warm
+// retirements (mutate, compact) should wire Store.OnRetireReason to
+// RetireVersion instead so seeds survive.
 func (c *Cache) InvalidateVersion(graph string, version uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if version > c.retiredMax[graph] {
-		c.retiredMax[graph] = version
-	}
-	var next *list.Element
-	for el := c.lru.Front(); el != nil; el = next {
-		next = el.Next()
-		e := el.Value.(*cacheEntry)
-		if e.key.Graph == graph && e.key.Version <= version {
-			c.removeLocked(el)
-			c.invalidated++
-		}
-	}
+	c.RetireVersion(graph, version, false)
 }
 
 // Stats returns a consistent snapshot of cache activity.
@@ -244,5 +246,9 @@ func (c *Cache) Stats() Stats {
 		Entries:        c.lru.Len(),
 		Bytes:          c.bytes,
 		BudgetBytes:    c.budget,
+		SeedEntries:    len(c.seeds),
+		SeedBytes:      c.seedBytes,
+		SeedsUsed:      c.seedsUsed,
+		SeedsDropped:   c.seedsDropped,
 	}
 }

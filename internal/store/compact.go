@@ -84,6 +84,7 @@ func (s *Store) Compact(name string) error {
 	ne := s.publishSuccessorLocked(e, target)
 	ne.snapshot = path
 	ne.vertices, ne.edges = content.NumVertices, content.NumEdges()
+	s.refreshViewCountsLocked(ne)
 	manifestErr := s.syncManifestLocked()
 	s.mu.Unlock()
 

@@ -1,0 +1,183 @@
+package store
+
+import "repro/internal/graph"
+
+// This file is the store's contribution to incremental recompute (DESIGN.md
+// §15): a bounded per-name history of recently published versions — which
+// delta-log sequence each version's view extends through, and the version's
+// vertex/edge counts when they are known exactly — plus DeltaBetween, which
+// materializes the edge operations connecting two published versions of the
+// same lineage. Serving layers use it to seed a run for version B from a
+// cached result computed at version A.
+
+// maxViewPoints bounds each name's retained history. Mutation bursts publish
+// a version per durable watermark; seeds only ever reach a few versions back,
+// so a short window is plenty and keeps the bookkeeping O(1) per publish.
+const maxViewPoints = 32
+
+// viewPoint is one published version of a name: the delta-log watermark its
+// view extends through and its graph dimensions. countsKnown reports whether
+// vertices/edges are exact content counts — true once the version has been
+// materialized (or was published with a fresh base), false for a successor
+// published cold, whose counts are inherited metadata.
+type viewPoint struct {
+	version     uint64
+	viewSeq     uint64
+	vertices    int
+	edges       int
+	countsKnown bool
+}
+
+// lineageViews is the retained history for one name, in publish order.
+// Replace and delete drop it wholesale: history never crosses lineages.
+type lineageViews struct {
+	points []viewPoint
+}
+
+// Delta is the materialized mutation delta connecting two published versions
+// of a graph, as returned by DeltaBetween. Ops are the acknowledged edge
+// operations in log order (last-writer-wins per (src, dst) pair when
+// applied); From* describe the older version's graph.
+type Delta struct {
+	// Ops transforms the older version's edge set into the newer version's
+	// when applied via graph.ApplyEdgeOps. Empty means the two versions serve
+	// bit-identical content (e.g. across a compaction republish).
+	Ops []graph.EdgeOp
+	// FromVertices/FromEdges are the older version's dimensions;
+	// FromCountsKnown reports whether they are exact content counts rather
+	// than inherited metadata (seed planners that compare edge counts must
+	// require it).
+	FromVertices    int
+	FromEdges       int
+	FromCountsKnown bool
+}
+
+// recordViewLocked appends e's current (version, viewSeq, counts) to its
+// name's history. Callers hold s.mu.
+func (s *Store) recordViewLocked(e *entry, countsKnown bool) {
+	lv := s.views[e.name]
+	if lv == nil {
+		lv = &lineageViews{}
+		s.views[e.name] = lv
+	}
+	lv.points = append(lv.points, viewPoint{
+		version:     e.version,
+		viewSeq:     e.viewSeq,
+		vertices:    e.vertices,
+		edges:       e.edges,
+		countsKnown: countsKnown,
+	})
+	if len(lv.points) > maxViewPoints {
+		lv.points = lv.points[len(lv.points)-maxViewPoints:]
+	}
+}
+
+// resetViewsLocked starts a fresh history for e — Add (new lineage) and the
+// cold registrations at Open. Callers hold s.mu.
+func (s *Store) resetViewsLocked(e *entry, countsKnown bool) {
+	s.views[e.name] = &lineageViews{}
+	s.recordViewLocked(e, countsKnown)
+}
+
+// refreshViewCountsLocked upgrades e's history point to exact content counts
+// after materialization established them. Callers hold s.mu.
+func (s *Store) refreshViewCountsLocked(e *entry) {
+	lv := s.views[e.name]
+	if lv == nil {
+		return
+	}
+	for i := range lv.points {
+		if lv.points[i].version == e.version {
+			lv.points[i].vertices = e.vertices
+			lv.points[i].edges = e.edges
+			lv.points[i].countsKnown = true
+			return
+		}
+	}
+}
+
+// dropViewsLocked forgets a name's history (Delete). Callers hold s.mu.
+func (s *Store) dropViewsLocked(name string) {
+	delete(s.views, name)
+}
+
+// DeltaBetween returns the edge operations connecting version from to
+// version to of the named graph, with the older version's dimensions. Both
+// versions must be retained in the name's history (same lineage — replace
+// and delete clear it), from must precede to, and the covered log range must
+// still be resident (compaction's log rotation can fold the range away). It
+// reports false whenever the delta cannot be recovered exactly; callers fall
+// back to a full recompute, so a miss is never wrong, only slower.
+func (s *Store) DeltaBetween(name string, from, to uint64) (Delta, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Delta{}, false
+	}
+	lv := s.views[name]
+	e := s.graphs[name]
+	if lv == nil || e == nil || e.delta == nil || from >= to {
+		s.mu.Unlock()
+		return Delta{}, false
+	}
+	var fp, tp *viewPoint
+	for i := range lv.points {
+		switch lv.points[i].version {
+		case from:
+			fp = &lv.points[i]
+		case to:
+			tp = &lv.points[i]
+		}
+	}
+	if fp == nil || tp == nil {
+		s.mu.Unlock()
+		return Delta{}, false
+	}
+	d := Delta{
+		FromVertices:    fp.vertices,
+		FromEdges:       fp.edges,
+		FromCountsKnown: fp.countsKnown,
+	}
+	fromSeq, toSeq := fp.viewSeq, tp.viewSeq
+	delta := e.delta
+	s.mu.Unlock()
+
+	ops, ok := delta.opsBetween(fromSeq, toSeq)
+	if !ok {
+		return Delta{}, false
+	}
+	d.Ops = ops
+	return d, true
+}
+
+// opsBetween returns a copy of the acknowledged operations for every batch
+// with sequence in (fromSeq, toSeq], concatenated in order — the delta
+// transforming the view at fromSeq into the view at toSeq. It reports false
+// when the range is not fully resident: fromSeq predates the compacted base
+// or toSeq exceeds the durable watermark.
+func (l *deltaLog) opsBetween(fromSeq, toSeq uint64) ([]graph.EdgeOp, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fromSeq < l.baseSeq || toSeq > l.synced || fromSeq > toSeq {
+		return nil, false
+	}
+	var n int
+	for _, b := range l.batches {
+		if b.Seq > toSeq {
+			break
+		}
+		if b.Seq > fromSeq {
+			n += len(b.Ops)
+		}
+	}
+	ops := make([]graph.EdgeOp, 0, n)
+	for _, b := range l.batches {
+		if b.Seq > toSeq {
+			break
+		}
+		if b.Seq > fromSeq {
+			ops = append(ops, b.Ops...)
+		}
+	}
+	return ops, true
+}

@@ -134,6 +134,9 @@ type Store struct {
 	nextLineage uint64
 	// onRetire holds the version-retirement subscribers (see OnRetireReason).
 	onRetire []RetireReasonFunc
+	// views retains each name's recent version history for DeltaBetween
+	// (see incremental.go).
+	views map[string]*lineageViews
 	// rehydrateRetries counts transient rehydration retries (monotonic);
 	// rehydrations counts successful snapshot loads; quarantined counts
 	// snapshots moved aside as corrupt; rehydrateStreak is the current run
@@ -245,7 +248,7 @@ func (h *Handle) Close() {
 // read and every persisted graph is registered cold — metadata only, loaded
 // lazily on first Acquire.
 func Open(cfg Config) (*Store, error) {
-	s := &Store{cfg: cfg, graphs: make(map[string]*entry)}
+	s := &Store{cfg: cfg, graphs: make(map[string]*entry), views: make(map[string]*lineageViews)}
 	s.pool = sched.NewPool(cfg.Workers)
 	if cfg.MaxInFlight > 0 {
 		s.pool.SetMaxActiveJobs(cfg.MaxInFlight)
@@ -309,6 +312,9 @@ func Open(cfg Config) (*Store, error) {
 			}
 			e.delta = l
 			e.viewSeq = l.ackedSeq()
+			// Manifest counts describe the base snapshot; they are exact for
+			// the served view only when no overlay batches replayed on top.
+			s.resetViewsLocked(e, rec.Replayed == 0)
 			if rec.NeedCompact {
 				needCompact = append(needCompact, e.name)
 			}
@@ -452,6 +458,7 @@ func (s *Store) Add(name string, g *graph.Graph) error {
 		s.graphs[name] = e
 		s.resident += e.bytes
 		e.lastUsed = s.tick()
+		s.resetViewsLocked(e, true)
 		s.ensureBudgetLocked()
 		return s.syncManifestLocked()
 	}()
@@ -587,6 +594,7 @@ func (s *Store) Acquire(name string) (*Handle, error) {
 		e.src, e.runner, e.bytes = g, runner, bytes
 		e.seed = nil
 		e.vertices, e.edges = g.NumVertices, g.NumEdges()
+		s.refreshViewCountsLocked(e)
 		s.resident += bytes
 		s.ensureBudgetLocked()
 		s.mu.Unlock()
@@ -637,6 +645,7 @@ func (s *Store) Delete(name string) error {
 		}
 		delete(s.graphs, name)
 		s.retireLocked(e)
+		s.dropViewsLocked(name)
 		retired = e
 		if e.snapshot != "" {
 			os.Remove(e.snapshot)
