@@ -21,12 +21,23 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "grazelle:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "serve":
+			sub = runServe
+		case "worker":
+			sub = runWorker
+		case "router":
+			sub = runRouter
 		}
-		return
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "grazelle:", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "grazelle:", err)

@@ -14,11 +14,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
 	grazelle "repro"
 	"repro/internal/apps"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/qcache"
@@ -100,8 +102,15 @@ import (
 // scheduled), a wedged delta log returns 503 with Retry-After while healing
 // retries in the background, and reads keep serving the last good version
 // through both. /readyz reports degraded while any delta log is wedged.
-func runServe(args []string) error {
-	fs := flag.NewFlagSet("grazelle serve", flag.ContinueOnError)
+func runServe(args []string) error { return runServeRole("serve", args) }
+
+// runServeRole is the shared body of the three serving roles. "serve" is the
+// ordinary single-process service; "worker" is serve plus the private
+// POST /internal/run endpoint the router drives (see cluster.go); "router"
+// is serve with query execution delegated to a worker roster through the
+// cluster tier.
+func runServeRole(role string, args []string) error {
+	fs := flag.NewFlagSet("grazelle "+role, flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8473", "listen address")
 		threads     = fs.Int("n", 0, "worker threads in the shared pool (0 = GOMAXPROCS)")
@@ -125,8 +134,29 @@ func runServe(args []string) error {
 		compactAt   = fs.Int64("compact-after", 16<<20, "overlay bytes that trigger background compaction (0 = only explicit /compact)")
 		incrLimit   = fs.Int("incremental-threshold", 4096, "maximum mutation-delta edge ops for incremental recompute from a cached predecessor result (0 = always recompute in full)")
 	)
+	var (
+		workerList  *string
+		healthEvery *time.Duration
+		exchTimeout *time.Duration
+	)
+	if role == "router" {
+		workerList = fs.String("workers", "", "comma-separated worker base URLs (required)")
+		healthEvery = fs.Duration("health-interval", time.Second, "worker health-check and resync interval")
+		exchTimeout = fs.Duration("exchange-timeout", cluster.DefaultRoundTimeout, "exchange round timeout before a peer is declared wedged")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var workerURLs []string
+	if role == "router" {
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, u)
+			}
+		}
+		if len(workerURLs) == 0 {
+			return errors.New("router requires -workers with at least one worker URL")
+		}
 	}
 
 	st, err := grazelle.OpenStore(grazelle.StoreConfig{
@@ -180,6 +210,30 @@ func runServe(args []string) error {
 		})
 	}
 
+	switch role {
+	case "worker":
+		srv.clusterWorker = cluster.NewWorker(st, workers, srv.metrics.exchangeNet)
+	case "router":
+		srv.clusterParts = *partitions
+		if srv.clusterParts < 2 {
+			// The cluster tier exists to spread frontier ownership; default to
+			// one partition per worker (floor 2 so the exchange actually runs).
+			srv.clusterParts = len(workerURLs)
+			if srv.clusterParts < 2 {
+				srv.clusterParts = 2
+			}
+		}
+		srv.cluster = cluster.NewRouter(cluster.RouterConfig{
+			Workers:        workerURLs,
+			Partitions:     srv.clusterParts,
+			HealthInterval: *healthEvery,
+			RoundTimeout:   *exchTimeout,
+			Registry:       st.Metrics(),
+			Logger:         srv.log,
+		})
+		defer srv.cluster.Close()
+	}
+
 	switch {
 	case *dataset != "":
 		g, err := grazelle.GenerateDataset(*dataset, *scale)
@@ -189,6 +243,9 @@ func runServe(args []string) error {
 		if err := st.Add("default", g); err != nil {
 			return err
 		}
+		if srv.cluster != nil {
+			srv.cluster.RecordGraph(cluster.GraphSpec{Name: "default", Dataset: *dataset, Scale: *scale})
+		}
 	case *input != "":
 		g, err := grazelle.LoadGraphPair(*input)
 		if err != nil {
@@ -196,6 +253,9 @@ func runServe(args []string) error {
 		}
 		if err := st.Add("default", g); err != nil {
 			return err
+		}
+		if srv.cluster != nil {
+			srv.cluster.RecordGraph(cluster.GraphSpec{Name: "default", Path: *input})
 		}
 	}
 
@@ -208,6 +268,12 @@ func runServe(args []string) error {
 	// scripts take the first "http://" line as the service base URL.
 	fmt.Printf("grazelle: serving on http://%s\n", ln.Addr())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
+	if srv.cluster != nil {
+		// Workers post frontier segments back to this process's own public
+		// address; the health/resync loop starts only once that is known.
+		srv.cluster.SetExchangeURL(fmt.Sprintf("http://%s/internal/exchange", ln.Addr()))
+		srv.cluster.Start()
+	}
 
 	// Profiling stays on its own opt-in listener so it is never reachable
 	// through the public address.
@@ -264,6 +330,14 @@ type server struct {
 	log           *slog.Logger
 	ring          *obs.TraceRing
 	metrics       *serveMetrics
+	// cluster, when non-nil, makes this process a router: every query runs
+	// through Execute on the worker roster with clusterParts partitions
+	// instead of the local engine. clusterWorker, when non-nil, makes it a
+	// worker: the private /internal/run endpoint is exposed. Both nil is the
+	// ordinary single-process serve mode.
+	cluster       *cluster.Router
+	clusterParts  int
+	clusterWorker *cluster.Worker
 }
 
 func (s *server) mux() http.Handler {
@@ -288,6 +362,13 @@ func (s *server) mux() http.Handler {
 	handle("POST /v1/graphs/{name}/compact", s.handleCompactGraph)
 	handle("POST /v1/query", s.handleQuery)
 	handle("POST /v1/batch", s.handleBatch)
+	if s.clusterWorker != nil {
+		handle("POST /internal/run", s.clusterWorker.HandleRun)
+	}
+	if s.cluster != nil {
+		handle("POST /internal/exchange", s.cluster.HandleExchange)
+		handle("GET /v1/cluster", s.handleClusterStatus)
+	}
 	return s.recoverMiddleware(mux)
 }
 
@@ -325,16 +406,22 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if s.cache == nil {
-		writeJSON(w, http.StatusOK, s.store.Stats())
-		return
-	}
-	// The cache block reads the same counter cells RegisterMetrics exposes,
-	// so this view and /metrics cannot drift.
-	writeJSON(w, http.StatusOK, struct {
+	// The cache and cluster blocks read the same counter cells /metrics
+	// exposes, so the views cannot drift.
+	out := struct {
 		grazelle.StoreStats
-		Cache qcache.Stats `json:"cache"`
-	}{s.store.Stats(), s.cache.Stats()})
+		Cache   *qcache.Stats   `json:"cache,omitempty"`
+		Cluster *cluster.Status `json:"cluster,omitempty"`
+	}{StoreStats: s.store.Stats()}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.Cache = &cs
+	}
+	if s.cluster != nil {
+		st := s.cluster.Status()
+		out.Cluster = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -356,6 +443,13 @@ func (s *server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		writeError(w, http.StatusBadRequest, errors.New("missing graph name"))
 		return
+	}
+	if s.cluster != nil {
+		// Catalog writes serialize against cluster execution per graph, so a
+		// scatter-gathered run never straddles a version change on one replica.
+		l := s.cluster.LockGraph(req.Name)
+		l.Lock()
+		defer l.Unlock()
 	}
 	var g *grazelle.Graph
 	var err error
@@ -385,6 +479,11 @@ func (s *server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if s.cluster != nil {
+		s.cluster.GraphAdded(cluster.GraphSpec{
+			Name: req.Name, Dataset: req.Dataset, Scale: req.Scale, Path: req.Path,
+		})
+	}
 	for _, info := range s.store.List() {
 		if info.Name == req.Name {
 			writeJSON(w, http.StatusOK, info)
@@ -396,6 +495,11 @@ func (s *server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.cluster != nil {
+		l := s.cluster.LockGraph(name)
+		l.Lock()
+		defer l.Unlock()
+	}
 	if err := s.store.Delete(name); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, grazelle.ErrGraphNotFound) {
@@ -403,6 +507,9 @@ func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, err)
 		return
+	}
+	if s.cluster != nil {
+		s.cluster.GraphDeleted(name)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
@@ -451,6 +558,11 @@ func (s *server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 	for i, op := range req.Ops {
 		ops[i] = grazelle.EdgeOp{Delete: op.Delete, Src: op.Src, Dst: op.Dst, Weight: op.Weight}
 	}
+	if s.cluster != nil {
+		l := s.cluster.LockGraph(name)
+		l.Lock()
+		defer l.Unlock()
+	}
 	seq, version, err := s.store.ApplyEdges(name, ops)
 	if err != nil {
 		status, retryAfter := mutationStatus(err)
@@ -459,6 +571,9 @@ func (s *server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, err)
 		return
+	}
+	if s.cluster != nil {
+		s.cluster.EdgesApplied(name, ops)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graph":   name,
@@ -626,7 +741,10 @@ func (s *server) writeQueryResult(w http.ResponseWriter, res qcache.Result, cach
 	w.Header().Set("X-Cache", cacheState)
 	if err != nil {
 		status := queryStatus(err)
-		if status == http.StatusTooManyRequests {
+		var ue *cluster.UnavailableError
+		if status == http.StatusTooManyRequests || errors.As(err, &ue) {
+			// Both clear on their own: admission pressure drains, and the
+			// cluster health loop repairs or resyncs workers.
 			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, status, err)
@@ -667,6 +785,13 @@ func (s *server) executeQuery(ctx context.Context, req queryRequest) (qcache.Res
 // returned Result carries the handle's version so the cache indexes it
 // under the version it was actually computed on.
 func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req queryRequest) (qcache.Result, error) {
+	// Router role: the local store holds the catalog and versions, but the
+	// compute itself is scatter-gathered over the worker roster. Branching
+	// here (not in handleQuery) keeps the cache, coalescing, and /v1/batch
+	// paths identical across roles.
+	if s.cluster != nil {
+		return s.runOnCluster(ctx, h, req)
+	}
 	eng := h.Engine()
 
 	// Watchdog tracking: a run past -hard-limit is cancelled through ctx.
@@ -728,6 +853,7 @@ func (s *server) runOnHandle(ctx context.Context, h *grazelle.StoreHandle, req q
 	// GET /v1/runs/{id} can replay it.
 	wall := time.Since(start)
 	s.metrics.observeRun(wall, stats.Phases, stats.TraceDropped)
+	s.metrics.exchangeShmem.Add(uint64(stats.ExchangeBytes))
 	rec := obs.RunRecord{
 		ID:    runID,
 		Graph: req.Graph,
@@ -851,6 +977,32 @@ func queryStatus(err error) int {
 		return acquireStatus(err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, grazelle.ErrMutationConflict):
+		// The cluster path re-checks the graph version under the per-graph
+		// lock; losing that race is retryable, not a client error.
+		return http.StatusConflict
+	}
+	// Cluster-tier failures: no placement possible is a degraded-service 503
+	// (with Retry-After), a worker's own verdict keeps its status when it is
+	// one the client can act on, and everything else a worker or the exchange
+	// barrier did wrong is a 502 — the upstream, not this service, failed.
+	var ue *cluster.UnavailableError
+	var cpe *cluster.PeerError
+	var rae *cluster.RunAbortedError
+	switch {
+	case errors.As(err, &ue):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &cpe):
+		switch {
+		case cpe.Status == http.StatusTooManyRequests:
+			return http.StatusTooManyRequests
+		case cpe.Status == http.StatusGatewayTimeout || cpe.Code == "timeout":
+			return http.StatusGatewayTimeout
+		default:
+			return http.StatusBadGateway
+		}
+	case errors.As(err, &rae):
+		return http.StatusServiceUnavailable
 	}
 	var pe *grazelle.PanicError
 	if errors.As(err, &pe) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -191,7 +192,25 @@ type Options struct {
 	// least this share of all edges. 0 selects the default (0.15); a
 	// negative value disables the term.
 	PullDegreeShare float64
+	// Exchange, when non-nil, replaces the partitioned coordinator's
+	// shared-memory frontier exchange with a custom transport — the seam the
+	// cluster tier's network exchange plugs into. Only meaningful with
+	// Partitions > 1.
+	Exchange FrontierExchange
 }
+
+// FrontierExchange moves per-partition frontier deltas across the
+// iteration barrier (see internal/coord). The engine's default is the
+// in-process shared-memory implementation; the cluster tier substitutes a
+// network transport through Options.Exchange.
+type FrontierExchange = coord.Exchange
+
+// FrontierDelta is one partition's frontier-delta segment handed to a
+// FrontierExchange.
+type FrontierDelta = coord.FrontierDelta
+
+// ExchangeResult is a FrontierExchange's merged outcome.
+type ExchangeResult = coord.ExchangeResult
 
 // Engine executes graph applications on one Graph. Engines hold a worker
 // pool; Close them when done.
@@ -222,6 +241,7 @@ func (opt Options) coreOptions() core.Options {
 		Trace:           opt.Trace,
 		Partitions:      opt.Partitions,
 		PullDegreeShare: opt.PullDegreeShare,
+		Exchange:        opt.Exchange,
 	}
 }
 
@@ -287,6 +307,9 @@ type Stats struct {
 	// PartitionStats is the per-partition breakdown (empty unless
 	// Options.Trace was set and the run was partitioned).
 	PartitionStats []PartitionStat
+	// ExchangeBytes is the total frontier-delta volume the run moved
+	// through the coordinator's exchange (0 for monolithic runs).
+	ExchangeBytes int64
 	// TraceDropped reports that tracing failed mid-run and was abandoned
 	// (the run itself succeeded); Phases may be incomplete.
 	TraceDropped bool
@@ -307,6 +330,7 @@ func statsOf(res core.Result) Stats {
 		Phases:         res.Trace.Phases,
 		Directions:     res.Trace.Directions,
 		PartitionStats: res.Trace.Partitions,
+		ExchangeBytes:  res.ExchangeBytes,
 		TraceDropped:   res.Trace.Dropped,
 	}
 }

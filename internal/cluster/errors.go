@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownRun reports an exchange post for a run the hub is not serving —
+// either never registered or already unregistered after completion.
+var ErrUnknownRun = errors.New("cluster: unknown run")
+
+// UnavailableError reports that a query could not be placed: no healthy,
+// synced worker exists (or failover exhausted the roster). The serving layer
+// maps it to 503 with Retry-After so clients back off while health checks
+// and resync repair the tier.
+type UnavailableError struct {
+	Reason string
+	// Cause is the last per-worker failure when failover ran out of
+	// replicas; nil when the roster was empty to begin with.
+	Cause error
+}
+
+func (e *UnavailableError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("cluster: unavailable: %s: %v", e.Reason, e.Cause)
+	}
+	return "cluster: unavailable: " + e.Reason
+}
+
+func (e *UnavailableError) Unwrap() error { return e.Cause }
+
+// PeerError reports one worker's failure during a scatter-gathered run: a
+// transport error (Status 0), a non-200 internal response, or a wedged peer
+// detected by the exchange hub's round timeout (Code "wedged").
+type PeerError struct {
+	Worker string
+	Status int
+	Code   string
+	Msg    string
+	Err    error
+}
+
+func (e *PeerError) Error() string {
+	switch {
+	case e.Err != nil:
+		return fmt.Sprintf("cluster: worker %s: %v", e.Worker, e.Err)
+	case e.Code != "":
+		return fmt.Sprintf("cluster: worker %s: %d %s: %s", e.Worker, e.Status, e.Code, e.Msg)
+	default:
+		return fmt.Sprintf("cluster: worker %s: status %d: %s", e.Worker, e.Status, e.Msg)
+	}
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// RunAbortedError is the error every worker still waiting at the exchange
+// barrier receives when a run is torn down mid-iteration (a peer died, a
+// round timed out, the router cancelled).
+type RunAbortedError struct {
+	RunID string
+	Cause error
+}
+
+func (e *RunAbortedError) Error() string {
+	return fmt.Sprintf("cluster: run %s aborted: %v", e.RunID, e.Cause)
+}
+
+func (e *RunAbortedError) Unwrap() error { return e.Cause }
+
+// ExchangeError marks a run failure that originated at the network
+// frontier barrier rather than in the worker's own compute. Workers report
+// it with code "exchange" so the router knows the worker is an abort victim
+// (or retry candidate), not a faulty replica.
+type ExchangeError struct {
+	Err error
+}
+
+func (e *ExchangeError) Error() string { return e.Err.Error() }
+
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
+// DivergenceError reports that a worker's locally computed frontier words
+// disagree with the merged authoritative words it received — by the
+// bit-determinism contract that can only mean replicas are out of sync, so
+// the run fails loudly instead of serving a wrong answer.
+type DivergenceError struct {
+	Part, Word int
+	Local, Got uint64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("cluster: frontier divergence at partition %d word %d: local %#x, merged %#x (replica out of sync)",
+		e.Part, e.Word, e.Local, e.Got)
+}

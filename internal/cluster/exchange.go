@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/fault"
+)
+
+// NetExchange is the network implementation of coord.Exchange a worker
+// installs for one cluster-executed run: each frontier iteration it posts
+// the worker's owned partition segments to the router's exchange hub,
+// blocks until every peer has posted, verifies the merged frontier against
+// the locally computed one (bit-determinism makes any difference a sync
+// bug), and writes the merged words back through the coordinator's aliased
+// delta slices.
+//
+// Transient transport failures are retried with backoff (Retries, Backoff);
+// HTTP-level errors are not — they are the hub telling this worker the run
+// is over. The cluster/exchange failpoint sits at the top so the chaos
+// suite can fail or delay the barrier exactly like coord/exchange does for
+// the shared-memory tier.
+type NetExchange struct {
+	Client *http.Client
+	URL    string
+	RunID  string
+	Worker string
+	// Owned flags the partitions this worker ships segments for.
+	Owned map[int]bool
+	// Retries bounds transport-error retries per post (default 2);
+	// Backoff is the initial retry delay, doubling per attempt (default 25ms).
+	Retries int
+	Backoff time.Duration
+
+	iter int
+	// BytesOut and BytesIn account actual wire traffic (segment payloads
+	// out, merged frontier in); RetryCount counts transport retries taken.
+	BytesOut, BytesIn int64
+	RetryCount        int
+}
+
+func (e *NetExchange) Exchange(ctx context.Context, deltas []coord.FrontierDelta) (coord.ExchangeResult, error) {
+	res, err := e.exchange(ctx, deltas)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// Context errors stay bare so the worker maps them to a timeout;
+		// everything else is tagged as a barrier failure, which the router
+		// treats as "abort victim or transient", never as a faulty replica.
+		err = &ExchangeError{Err: err}
+	}
+	return res, err
+}
+
+func (e *NetExchange) exchange(ctx context.Context, deltas []coord.FrontierDelta) (coord.ExchangeResult, error) {
+	// Failpoint first, then the context check — same ordering as the
+	// shared-memory exchange: a delay spec models a slow peer, after which a
+	// cancelled context must surface instead of a successful barrier.
+	if err := fault.Inject("cluster/exchange"); err != nil {
+		return coord.ExchangeResult{}, fmt.Errorf("cluster: frontier exchange failed: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return coord.ExchangeResult{}, fmt.Errorf("cluster: frontier exchange cancelled: %w", err)
+	}
+
+	post := ExchangePost{RunID: e.RunID, Worker: e.Worker, Iter: e.iter}
+	for _, d := range deltas {
+		if e.Owned[d.Part] {
+			post.Segments = append(post.Segments, Segment{
+				Part:   d.Part,
+				WordLo: d.WordLo,
+				Words:  wordsToBytes(d.Words),
+			})
+			e.BytesOut += d.Bytes()
+		}
+	}
+	body, err := json.Marshal(&post)
+	if err != nil {
+		return coord.ExchangeResult{}, err
+	}
+
+	reply, err := e.post(ctx, body)
+	if err != nil {
+		return coord.ExchangeResult{}, err
+	}
+	if reply.Iter != e.iter {
+		return coord.ExchangeResult{}, fmt.Errorf("cluster: exchange reply for iter %d during iter %d", reply.Iter, e.iter)
+	}
+	words := 0
+	for _, d := range deltas {
+		words += len(d.Words)
+	}
+	if len(reply.Frontier) != words*8 || len(reply.Bytes) != len(deltas) {
+		return coord.ExchangeResult{}, fmt.Errorf("cluster: malformed exchange reply: %d frontier bytes for %d words, %d byte counts for %d partitions",
+			len(reply.Frontier), words, len(reply.Bytes), len(deltas))
+	}
+	e.BytesIn += int64(len(reply.Frontier))
+
+	merged := bytesToWords(reply.Frontier)
+	for _, d := range deltas {
+		seg := merged[d.WordLo : d.WordLo+len(d.Words)]
+		if !e.Owned[d.Part] {
+			// The authoritative words came from a peer replica; by
+			// bit-determinism they must equal ours. A mismatch means replicas
+			// have drifted — refuse to publish a wrong frontier.
+			for i, w := range seg {
+				if d.Words[i] != w {
+					return coord.ExchangeResult{}, &DivergenceError{
+						Part: d.Part, Word: d.WordLo + i, Local: d.Words[i], Got: w,
+					}
+				}
+			}
+		}
+		copy(d.Words, seg)
+	}
+	e.iter++
+	return coord.ExchangeResult{Active: reply.Active, Bytes: reply.Bytes}, nil
+}
+
+// post sends one exchange post, retrying transport errors with backoff.
+func (e *NetExchange) post(ctx context.Context, body []byte) (*ExchangeReply, error) {
+	retries := e.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	backoff := e.Backoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			e.RetryCount++
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, fmt.Errorf("cluster: frontier exchange cancelled: %w", ctx.Err())
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.URL, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := e.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("cluster: frontier exchange cancelled: %w", ctx.Err())
+			}
+			lastErr = fmt.Errorf("cluster: exchange post: %w", err)
+			continue
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("cluster: exchange reply read: %w", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb errorBody
+			_ = json.Unmarshal(payload, &eb)
+			msg := eb.Error
+			if msg == "" {
+				msg = string(payload)
+			}
+			return nil, fmt.Errorf("cluster: exchange rejected (status %d): %s", resp.StatusCode, msg)
+		}
+		var reply ExchangeReply
+		if err := json.Unmarshal(payload, &reply); err != nil {
+			return nil, fmt.Errorf("cluster: exchange reply decode: %w", err)
+		}
+		return &reply, nil
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/numa"
+)
+
+// Hub is the router-side exchange barrier: per run it collects each
+// enlisted worker's owned frontier segments for the current iteration,
+// merges them into the full next-frontier bitmap, and releases every waiter
+// with the merged words plus the per-partition byte accounting. Rounds are
+// strictly sequential; a retried post for the just-completed round gets the
+// cached reply (idempotent retries), and a round that outlives RoundTimeout
+// aborts the run with the laggards recorded.
+type Hub struct {
+	// RoundTimeout bounds how long a posted worker waits for its peers
+	// before the run is declared wedged (0 = DefaultRoundTimeout).
+	RoundTimeout time.Duration
+	// OnRound, when non-nil, observes each completed round.
+	OnRound func()
+	// PeerTraffic, when non-nil, observes one worker's exchange wire bytes.
+	PeerTraffic func(worker string, in, out int64)
+	// PeerWait, when non-nil, observes how long one worker's post waited at
+	// the barrier for its peers.
+	PeerWait func(worker string, d time.Duration)
+
+	mu   sync.Mutex
+	runs map[string]*hubRun
+}
+
+// DefaultRoundTimeout is the wedged-peer bound when Hub.RoundTimeout is 0.
+const DefaultRoundTimeout = 30 * time.Second
+
+type hubRound struct {
+	iter  int
+	done  chan struct{}
+	reply *ExchangeReply
+	err   error
+}
+
+type hubRun struct {
+	mu       sync.Mutex
+	owners   map[string][]int // worker -> partitions it is authoritative for
+	parts    int
+	words    numa.Partition // word-space layout, parts pieces
+	frontier []uint64
+	cur      *hubRound
+	prev     *hubRound
+	posts    map[string]time.Time // arrival time per worker this round
+	partBytes []int64             // cumulative per-partition exchange bytes
+	rounds   int
+	abortErr error
+	laggards []string
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub { return &Hub{runs: make(map[string]*hubRun)} }
+
+// Register enlists a run: owners maps each participating worker to the
+// partitions it is authoritative for, over a parts-way layout of a
+// words-word frontier bitmap. The layout is numa.PartitionEven — the same
+// geometry every worker's engine plan computes independently from (N,
+// parts), which is what lets segment ranges be validated without any
+// negotiation.
+func (h *Hub) Register(runID string, owners map[string][]int, parts, words int) {
+	run := &hubRun{
+		owners:    owners,
+		parts:     parts,
+		words:     numa.PartitionEven(words, parts),
+		frontier:  make([]uint64, words),
+		cur:       &hubRound{done: make(chan struct{})},
+		posts:     make(map[string]time.Time),
+		partBytes: make([]int64, parts),
+	}
+	h.mu.Lock()
+	h.runs[runID] = run
+	h.mu.Unlock()
+}
+
+// Unregister removes a completed run; any straggling waiter gets
+// ErrUnknownRun on its next post.
+func (h *Hub) Unregister(runID string) {
+	h.mu.Lock()
+	run := h.runs[runID]
+	delete(h.runs, runID)
+	h.mu.Unlock()
+	if run != nil {
+		run.abort(&RunAbortedError{RunID: runID, Cause: ErrUnknownRun})
+	}
+}
+
+// Abort fails the run's current round (and all future posts) with cause.
+func (h *Hub) Abort(runID string, cause error) {
+	if run := h.lookup(runID); run != nil {
+		run.abort(&RunAbortedError{RunID: runID, Cause: cause})
+	}
+}
+
+// PartBytes returns the cumulative per-partition exchange bytes the run has
+// moved through the hub so far.
+func (h *Hub) PartBytes(runID string) []int64 {
+	run := h.lookup(runID)
+	if run == nil {
+		return nil
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	out := make([]int64, len(run.partBytes))
+	copy(out, run.partBytes)
+	return out
+}
+
+// Rounds returns how many exchange rounds the run has completed.
+func (h *Hub) Rounds(runID string) int {
+	run := h.lookup(runID)
+	if run == nil {
+		return 0
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	return run.rounds
+}
+
+// Laggards returns the workers that had not posted when the run's round
+// timed out (empty unless a timeout abort happened).
+func (h *Hub) Laggards(runID string) []string {
+	run := h.lookup(runID)
+	if run == nil {
+		return nil
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	return append([]string(nil), run.laggards...)
+}
+
+func (h *Hub) lookup(runID string) *hubRun {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.runs[runID]
+}
+
+func (run *hubRun) abort(err *RunAbortedError) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	run.abortLocked(err)
+}
+
+// abortLocked fails the current round; idempotent.
+func (run *hubRun) abortLocked(err *RunAbortedError) {
+	if run.abortErr != nil {
+		return
+	}
+	run.abortErr = err
+	run.cur.err = err
+	close(run.cur.done)
+}
+
+// Post delivers one worker's segments for one iteration and blocks until
+// the round completes, the run aborts, ctx cancels, or the round times out.
+func (h *Hub) Post(ctx context.Context, p *ExchangePost) (*ExchangeReply, error) {
+	run := h.lookup(p.RunID)
+	if run == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRun, p.RunID)
+	}
+
+	run.mu.Lock()
+	if run.abortErr != nil {
+		err := run.abortErr
+		run.mu.Unlock()
+		return nil, err
+	}
+	// Idempotent retry: a worker that lost the previous reply in transit
+	// reposts the completed iteration and gets the cached reply back.
+	if run.prev != nil && p.Iter == run.prev.iter {
+		reply := run.prev.reply
+		run.mu.Unlock()
+		h.accountTraffic(p, reply)
+		return reply, nil
+	}
+	if p.Iter != run.cur.iter {
+		err := &RunAbortedError{RunID: p.RunID, Cause: fmt.Errorf(
+			"cluster: protocol violation: worker %s posted iter %d during iter %d", p.Worker, p.Iter, run.cur.iter)}
+		run.abortLocked(err)
+		run.mu.Unlock()
+		return nil, err
+	}
+	owned, ok := run.owners[p.Worker]
+	if !ok {
+		err := &RunAbortedError{RunID: p.RunID, Cause: fmt.Errorf(
+			"cluster: protocol violation: post from unenlisted worker %s", p.Worker)}
+		run.abortLocked(err)
+		run.mu.Unlock()
+		return nil, err
+	}
+	if err := run.mergeLocked(p, owned); err != nil {
+		aerr := &RunAbortedError{RunID: p.RunID, Cause: err}
+		run.abortLocked(aerr)
+		run.mu.Unlock()
+		return nil, aerr
+	}
+	arrived := time.Now()
+	if _, dup := run.posts[p.Worker]; !dup {
+		run.posts[p.Worker] = arrived
+	}
+	round := run.cur
+	var reply *ExchangeReply
+	if len(run.posts) == len(run.owners) {
+		reply = run.completeRoundLocked(h, arrived)
+	}
+	run.mu.Unlock()
+
+	if reply != nil {
+		h.accountTraffic(p, reply)
+		return reply, nil
+	}
+
+	timeout := h.RoundTimeout
+	if timeout <= 0 {
+		timeout = DefaultRoundTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-round.done:
+		if round.err != nil {
+			return nil, round.err
+		}
+		h.accountTraffic(p, round.reply)
+		return round.reply, nil
+	case <-ctx.Done():
+		// The waiter's own connection died; the round can still complete for
+		// the others, so only this post fails.
+		return nil, ctx.Err()
+	case <-timer.C:
+		run.mu.Lock()
+		if run.cur == round && round.err == nil && round.reply == nil {
+			for w := range run.owners {
+				if _, posted := run.posts[w]; !posted {
+					run.laggards = append(run.laggards, w)
+				}
+			}
+			run.abortLocked(&RunAbortedError{RunID: p.RunID, Cause: fmt.Errorf(
+				"cluster: exchange round %d wedged for %v waiting on %v", round.iter, timeout, run.laggards)})
+		}
+		run.mu.Unlock()
+		// Re-read the round outcome: a completion may have raced the timer.
+		<-round.done
+		if round.err != nil {
+			return nil, round.err
+		}
+		h.accountTraffic(p, round.reply)
+		return round.reply, nil
+	}
+}
+
+// accountTraffic charges one successful post/reply pair to the worker's wire
+// counters: segment payload in, merged frontier out.
+func (h *Hub) accountTraffic(p *ExchangePost, reply *ExchangeReply) {
+	if h.PeerTraffic == nil || reply == nil {
+		return
+	}
+	var in int64
+	for _, seg := range p.Segments {
+		in += int64(len(seg.Words))
+	}
+	h.PeerTraffic(p.Worker, in, int64(len(reply.Frontier)))
+}
+
+// mergeLocked validates one post's segments against the worker's ownership
+// and the run's word layout, then copies them into the merged frontier.
+func (run *hubRun) mergeLocked(p *ExchangePost, owned []int) error {
+	ownedSet := make(map[int]bool, len(owned))
+	for _, part := range owned {
+		ownedSet[part] = true
+	}
+	if len(p.Segments) != len(owned) {
+		return fmt.Errorf("cluster: worker %s posted %d segments, owns %d partitions",
+			p.Worker, len(p.Segments), len(owned))
+	}
+	for _, seg := range p.Segments {
+		if !ownedSet[seg.Part] {
+			return fmt.Errorf("cluster: worker %s posted unowned partition %d", p.Worker, seg.Part)
+		}
+		lo, hi := run.words.Range(seg.Part)
+		if seg.WordLo != lo || len(seg.Words) != (hi-lo)*8 {
+			return fmt.Errorf("cluster: partition %d segment geometry [%d,+%dB) does not match layout [%d,%d)",
+				seg.Part, seg.WordLo, len(seg.Words), lo, hi)
+		}
+		copy(run.frontier[lo:hi], bytesToWords(seg.Words))
+	}
+	return nil
+}
+
+// completeRoundLocked closes the current round: popcount the merged
+// frontier, charge per-partition bytes, cache the reply for retries, and
+// open the next round.
+func (run *hubRun) completeRoundLocked(h *Hub, completed time.Time) *ExchangeReply {
+	active := 0
+	for _, w := range run.frontier {
+		active += bits.OnesCount64(w)
+	}
+	byteCounts := make([]int64, run.parts)
+	for part := 0; part < run.parts; part++ {
+		lo, hi := run.words.Range(part)
+		byteCounts[part] = int64(hi-lo) * 8
+		run.partBytes[part] += byteCounts[part]
+	}
+	round := run.cur
+	round.reply = &ExchangeReply{
+		Iter:     round.iter,
+		Active:   active,
+		Frontier: wordsToBytes(run.frontier),
+		Bytes:    byteCounts,
+	}
+	run.rounds++
+	run.prev = round
+	run.cur = &hubRound{iter: round.iter + 1, done: make(chan struct{})}
+	if h.OnRound != nil {
+		h.OnRound()
+	}
+	if h.PeerWait != nil {
+		for w, at := range run.posts {
+			h.PeerWait(w, completed.Sub(at))
+		}
+	}
+	run.posts = make(map[string]time.Time)
+	close(round.done)
+	return round.reply
+}

@@ -1,0 +1,154 @@
+// Package cluster is the horizontal scale-out tier: a router process that
+// owns graph placement and serves the public query API, and worker processes
+// that hold graph replicas and execute runs, synchronized once per iteration
+// by shipping frontier-delta bitmap words through the router's exchange hub.
+//
+// The design follows the coordinator seam PR 7 left (internal/coord): the
+// only state that must cross a process boundary per iteration is the
+// frontier delta, so a worker runs the ordinary partitioned engine with the
+// shared-memory Exchange swapped for NetExchange. Each worker holds a full
+// replica and executes every partition span locally (the pull kernels read
+// all source properties, so properties never cross the wire); partition
+// *ownership* decides whose frontier words are authoritative at the barrier.
+// Because every engine is bit-deterministic at any worker count, all
+// replicas produce identical words and the merged frontier equals each
+// worker's local one — which is what makes router-executed results
+// bit-identical to single-process runs, and what the exchange verifies
+// every iteration (see NetExchange's divergence check).
+//
+// The wire barrier is load-bearing even though its payload is redundant: it
+// is where a dead or wedged peer is detected mid-run, where the
+// cluster/exchange failpoint injects chaos, and where per-peer byte and
+// latency accounting comes from.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+)
+
+// GraphSpec describes how to materialize one graph on a worker — the same
+// fields the public POST /v1/graphs accepts, so the router replays its
+// catalog through a worker's ordinary serving API when resyncing it.
+type GraphSpec struct {
+	Name    string  `json:"name"`
+	Dataset string  `json:"dataset,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Path    string  `json:"path,omitempty"`
+}
+
+// RunSpec is the router-side input to Execute: one normalized query plus
+// the pinned graph's identity facts used for cross-replica consistency
+// checks.
+type RunSpec struct {
+	Graph      string
+	App        string
+	Iters      int
+	Root       uint32
+	K          int
+	Partitions int
+	Values     bool
+	// Vertices and Edges are the router replica's counts at the pinned
+	// version; a worker whose replica disagrees refuses the run with
+	// out_of_sync instead of computing a divergent answer.
+	Vertices, Edges int
+	// TimeoutMS bounds the worker-side run (0 = worker default).
+	TimeoutMS int64
+}
+
+// RunRequest is the router → worker body of POST /internal/run.
+type RunRequest struct {
+	RunID string `json:"run_id"`
+	// Worker is this worker's identity in the router's roster; it labels the
+	// worker's exchange posts.
+	Worker string `json:"worker"`
+	// ExchangeURL is the router's exchange hub endpoint.
+	ExchangeURL string `json:"exchange_url"`
+	Graph       string `json:"graph"`
+	App         string `json:"app"`
+	Iters       int    `json:"iters"`
+	Root        uint32 `json:"root"`
+	K           int    `json:"k"`
+	Partitions  int    `json:"partitions"`
+	// Owned lists the partitions whose frontier words this worker is
+	// authoritative for at the exchange barrier.
+	Owned []int `json:"owned"`
+	// Vertices and Edges are the router's expected graph shape.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Primary marks the one worker whose summary/values serialize into the
+	// client response; secondaries return counters only.
+	Primary   bool  `json:"primary"`
+	Values    bool  `json:"values"`
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// RunResponse is the worker → router body of a successful /internal/run.
+// Summary values and Values are pre-marshaled on the worker and passed
+// through the router verbatim, so the assembled client payload is
+// byte-identical to what the single-process server would emit.
+type RunResponse struct {
+	Iterations     int                        `json:"iterations"`
+	PullIterations int                        `json:"pull_iterations"`
+	PushIterations int                        `json:"push_iterations"`
+	Mode           string                     `json:"mode"`
+	Partitions     int                        `json:"partitions"`
+	ElapsedMS      int64                      `json:"elapsed_ms"`
+	ExchangeBytes  int64                      `json:"exchange_bytes"`
+	Summary        map[string]json.RawMessage `json:"summary,omitempty"`
+	Values         json.RawMessage            `json:"values,omitempty"`
+}
+
+// Segment is one owned partition's frontier words for one iteration.
+// Words is the little-endian byte serialization of the partition's 64-bit
+// bitmap slice (base64 on the JSON wire).
+type Segment struct {
+	Part   int    `json:"part"`
+	WordLo int    `json:"word_lo"`
+	Words  []byte `json:"words"`
+}
+
+// ExchangePost is the worker → router body of POST /internal/exchange:
+// one worker's owned segments for one iteration's barrier.
+type ExchangePost struct {
+	RunID    string    `json:"run_id"`
+	Worker   string    `json:"worker"`
+	Iter     int       `json:"iter"`
+	Segments []Segment `json:"segments"`
+}
+
+// ExchangeReply is the hub's answer once every enlisted worker has posted:
+// the full merged frontier plus the per-partition byte accounting the
+// coordinator charges (identical to what the shared-memory exchange would
+// have reported, keeping exchange_bytes comparable across tiers).
+type ExchangeReply struct {
+	Iter     int     `json:"iter"`
+	Active   int     `json:"active"`
+	Frontier []byte  `json:"frontier"`
+	Bytes    []int64 `json:"bytes"`
+}
+
+// errorBody is the typed error JSON both internal endpoints use.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// wordsToBytes serializes bitmap words little-endian.
+func wordsToBytes(words []uint64) []byte {
+	out := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	return out
+}
+
+// bytesToWords inverts wordsToBytes. Trailing partial words are rejected by
+// the callers' length validation before this runs.
+func bytesToWords(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}

@@ -458,6 +458,10 @@ type Result struct {
 	// executed with (1 = monolithic; see Options.Partitions for the
 	// configurations that fall back).
 	Partitions int
+	// ExchangeBytes is the total frontier-delta volume moved through the
+	// partitioned coordinator's Exchange across all partitions and
+	// iterations (0 on the monolithic path).
+	ExchangeBytes int64
 	// Seeded reports that the run started from a warm seed (RunSeededCtx)
 	// rather than the program's cold init. False for a seeded call means the
 	// seed failed to apply and the run degraded to a cold start.
@@ -613,7 +617,7 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int, seed *Seed) (Re
 	var driver coord.Coordinator
 	if ec.parts > 1 {
 		bindPartitioned(ec, p, &it, &res, &density)
-		driver = &coord.PartitionedCoordinator{Policy: policy, Plan: ec.plan}
+		driver = &coord.PartitionedCoordinator{Policy: policy, Plan: ec.plan, Exchange: ec.opt.Exchange}
 	} else {
 		driver = &coord.LocalCoordinator{Policy: policy}
 	}
@@ -623,8 +627,11 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int, seed *Seed) (Re
 	res.EdgeCounters = ec.edgeRec.Total()
 	res.VertexCounters = ec.vertexRec.Total()
 	res.EdgeProfile = ec.edgeRec.Profile()
-	if ec.tracer != nil {
-		if ps := driver.PartitionStats(); len(ps) > 0 {
+	if ps := driver.PartitionStats(); len(ps) > 0 {
+		for _, s := range ps {
+			res.ExchangeBytes += s.ExchangeBytes
+		}
+		if ec.tracer != nil {
 			ops := make([]obs.PartitionStat, len(ps))
 			for i, s := range ps {
 				ops[i] = obs.PartitionStat{
@@ -637,6 +644,8 @@ func runLoop[P apps.Program](ec *ExecContext, p P, maxIters int, seed *Seed) (Re
 			}
 			ec.tracer.SetPartitions(ops)
 		}
+	}
+	if ec.tracer != nil {
 		res.Trace = ec.tracer.Trace()
 	}
 	if pe := ec.runErr.Load(); pe != nil {

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	grazelle "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// ClusterABResult is one (dataset, app, partitions) row comparing a
+// monolithic in-process run against the same query scatter-gathered by a
+// router over a two-worker roster with the network frontier exchange in the
+// loop. Both tiers are bit-identical by contract; every row re-verifies the
+// summary statistics (and the full value vector) byte-for-byte before it is
+// recorded. The ratio prices the cluster tier on one box: HTTP fan-out, the
+// per-iteration exchange barrier over loopback, and redundant replica
+// compute.
+type ClusterABResult struct {
+	Dataset      string `json:"dataset"`
+	App          string `json:"app"`
+	Workers      int    `json:"workers"`
+	Partitions   int    `json:"partitions"`
+	MonolithicNS int64  `json:"monolithic_ns"`
+	ClusterNS    int64  `json:"cluster_ns"`
+	// Ratio is cluster/monolithic wall time: >1 is cluster-tier overhead.
+	Ratio float64 `json:"ratio"`
+	// PartitionBytes is the exchange hub's per-partition wire accounting for
+	// one run (all zero for frontier-blind apps like pr), matching the
+	// shared-memory exchange_bytes a partitioned run reports.
+	PartitionBytes []int64 `json:"partition_bytes"`
+	// PeerBytes is the per-worker wire traffic through the exchange barrier
+	// for the same run: segments posted in, merged frontiers replied out.
+	PeerBytes []ClusterPeerBytes `json:"peer_bytes"`
+}
+
+// ClusterPeerBytes is one worker's exchange traffic within a ClusterABResult.
+type ClusterPeerBytes struct {
+	Worker string `json:"worker"`
+	In     int64  `json:"in"`
+	Out    int64  `json:"out"`
+}
+
+// clusterABWorkers is the roster size each A/B row runs against — the
+// smallest cluster where partition ownership actually splits across peers.
+const clusterABWorkers = 2
+
+// clusterABCounts are the partition counts each A/B row sweep covers,
+// matching the shared-memory partition A/B.
+var clusterABCounts = []int{2, 4}
+
+// benchCluster is one in-process router + roster: worker stores behind
+// httptest servers, the exchange hub served over real HTTP.
+type benchCluster struct {
+	router  *cluster.Router
+	cleanup []func()
+}
+
+func (bc *benchCluster) close() {
+	for i := len(bc.cleanup) - 1; i >= 0; i-- {
+		bc.cleanup[i]()
+	}
+}
+
+// newBenchCluster stands up clusterABWorkers in-process workers each holding
+// g as "g", plus a router with its exchange hub on HTTP, and blocks until
+// the health loop has the full roster in rotation.
+func newBenchCluster(cfg Config, g *grazelle.Graph) (*benchCluster, error) {
+	bc := &benchCluster{}
+	urls := make([]string, clusterABWorkers)
+	for i := range urls {
+		st, err := grazelle.OpenStore(grazelle.StoreConfig{
+			Workers: cfg.Workers, Options: grazelle.Options{Trace: true},
+		})
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.cleanup = append(bc.cleanup, func() { st.Close() })
+		if err := st.Add("g", g); err != nil {
+			bc.close()
+			return nil, err
+		}
+		wk := cluster.NewWorker(st, cfg.Workers, &obs.Counter{})
+		ts := httptest.NewServer(wk.Mux())
+		bc.cleanup = append(bc.cleanup, ts.Close)
+		urls[i] = ts.URL
+	}
+	rt := cluster.NewRouter(cluster.RouterConfig{
+		Workers:        urls,
+		Partitions:     clusterABCounts[0],
+		HealthInterval: 25 * time.Millisecond,
+		RoundTimeout:   time.Minute,
+	})
+	bc.cleanup = append(bc.cleanup, rt.Close)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /internal/exchange", rt.HandleExchange)
+	hts := httptest.NewServer(mux)
+	bc.cleanup = append(bc.cleanup, hts.Close)
+	rt.SetExchangeURL(hts.URL + "/internal/exchange")
+	rt.Start()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := 0
+		for _, w := range rt.Status().Workers {
+			if w.Healthy && w.Synced {
+				ready++
+			}
+		}
+		if ready == clusterABWorkers {
+			break
+		}
+		if time.Now().After(deadline) {
+			bc.close()
+			return nil, fmt.Errorf("cluster_ab: roster never reached %d ready workers", clusterABWorkers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	bc.router = rt
+	return bc, nil
+}
+
+// verifyClusterIdentity checks a cluster result byte-for-byte against the
+// local monolithic reference: every summary statistic and, when present, the
+// full value vector.
+func verifyClusterIdentity(where string, res *cluster.RunResult, want *grazelle.AppResult) error {
+	stats := want.Summary()
+	if len(res.Summary) != len(stats) {
+		return fmt.Errorf("%s: cluster summary has %d keys, local has %d", where, len(res.Summary), len(stats))
+	}
+	for _, st := range stats {
+		raw, err := json.Marshal(st.Value)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(raw, res.Summary[st.Key]) {
+			return fmt.Errorf("%s: summary %q = %s, local %s", where, st.Key, res.Summary[st.Key], raw)
+		}
+	}
+	if len(res.Values) > 0 {
+		raw, err := json.Marshal(want.Values())
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(raw, json.RawMessage(res.Values)) {
+			return fmt.Errorf("%s: cluster values diverged from the local run", where)
+		}
+	}
+	return nil
+}
+
+// ClusterAB measures the router + two-worker cluster tier against a
+// monolithic in-process engine on PR/CC/BFS over the config's T/U/D analogs,
+// asserting byte-identical output as it goes. One cluster is stood up per
+// dataset; the timed region covers exactly what a client of /v1/query would
+// wait for — scatter, every exchange round, gather.
+func ClusterAB(cfg Config) ([]ClusterABResult, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	var rows []ClusterABResult
+	runSeq := 0
+	for _, d := range cfg.Datasets {
+		ab := string(d.Abbrev())
+		if !tudDataset(ab) {
+			continue
+		}
+		g, err := grazelle.GenerateDataset(ab, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		bc, err := newBenchCluster(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		rt := bc.router
+
+		params := grazelle.Params{Iters: cfg.PRIters}
+		for _, app := range []string{"pr", "cc", "bfs"} {
+			eng := grazelle.NewEngine(g, grazelle.Options{Workers: cfg.Workers, Trace: true})
+			var monoRes *grazelle.AppResult
+			var monoErr error
+			monoNS := cfg.timeBest(func() {
+				monoRes, monoErr = eng.Run(ctx, app, params)
+			}).Nanoseconds()
+			eng.Close()
+			if monoErr != nil {
+				bc.close()
+				return nil, fmt.Errorf("%s/%s monolithic: %w", ab, app, monoErr)
+			}
+
+			for _, parts := range clusterABCounts {
+				spec := cluster.RunSpec{
+					Graph:      "g",
+					App:        app,
+					Iters:      params.Iters,
+					Partitions: parts,
+					Vertices:   g.NumVertices(),
+					Edges:      g.NumEdges(),
+				}
+				var res *cluster.RunResult
+				var runErr error
+				best := cfg.timeBest(func() {
+					runSeq++
+					res, runErr = rt.Execute(ctx, fmt.Sprintf("ab-%d", runSeq), spec)
+				})
+				if runErr != nil {
+					bc.close()
+					return nil, fmt.Errorf("%s/%s p=%d cluster: %w", ab, app, parts, runErr)
+				}
+				if res.Partitions != parts {
+					bc.close()
+					return nil, fmt.Errorf("%s/%s: effective partitions %d, want %d", ab, app, res.Partitions, parts)
+				}
+
+				// One more untimed run with values on: the byte-identity check,
+				// and the per-peer wire accounting for exactly one run.
+				before := rt.Status()
+				spec.Values = true
+				runSeq++
+				full, err := rt.Execute(ctx, fmt.Sprintf("ab-%d", runSeq), spec)
+				if err != nil {
+					bc.close()
+					return nil, fmt.Errorf("%s/%s p=%d identity run: %w", ab, app, parts, err)
+				}
+				after := rt.Status()
+				where := fmt.Sprintf("%s/%s p=%d", ab, app, parts)
+				if err := verifyClusterIdentity(where, full, monoRes); err != nil {
+					bc.close()
+					return nil, err
+				}
+
+				var peers []ClusterPeerBytes
+				for i, w := range after.Workers {
+					peers = append(peers, ClusterPeerBytes{
+						Worker: w.URL,
+						In:     int64(w.BytesIn - before.Workers[i].BytesIn),
+						Out:    int64(w.BytesOut - before.Workers[i].BytesOut),
+					})
+				}
+				rows = append(rows, ClusterABResult{
+					Dataset:        ab,
+					App:            app,
+					Workers:        len(full.Workers),
+					Partitions:     parts,
+					MonolithicNS:   monoNS,
+					ClusterNS:      best.Nanoseconds(),
+					Ratio:          float64(best.Nanoseconds()) / float64(monoNS),
+					PartitionBytes: full.PartBytes,
+					PeerBytes:      peers,
+				})
+			}
+		}
+		bc.close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestClusterABRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster A/B stands up an in-process roster")
+	}
+	cfg := Config{Quick: true, Datasets: []gen.Dataset{gen.Twitter}}
+	rows, err := ClusterAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(clusterABCounts); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (pr, cc, bfs × partition counts)", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.MonolithicNS <= 0 || r.ClusterNS <= 0 || r.Ratio <= 0 {
+			t.Errorf("%s/%s p=%d: non-positive timings %+v", r.Dataset, r.App, r.Partitions, r)
+		}
+		if r.Workers < 1 || r.Workers > clusterABWorkers {
+			t.Errorf("%s/%s p=%d: %d participating workers", r.Dataset, r.App, r.Partitions, r.Workers)
+		}
+		if len(r.PartitionBytes) != r.Partitions {
+			t.Errorf("%s/%s p=%d: %d partition-byte entries", r.Dataset, r.App, r.Partitions, len(r.PartitionBytes))
+		}
+		if len(r.PeerBytes) != clusterABWorkers {
+			t.Errorf("%s/%s p=%d: %d peer-byte entries", r.Dataset, r.App, r.Partitions, len(r.PeerBytes))
+		}
+		var partSum, peerIn int64
+		for _, b := range r.PartitionBytes {
+			partSum += b
+		}
+		for _, p := range r.PeerBytes {
+			peerIn += p.In
+		}
+		// Frontier-driven apps must move frontier state over the wire; pr is
+		// frontier-blind and must move none.
+		if r.App == "pr" && (partSum != 0 || peerIn != 0) {
+			t.Errorf("pr exchanged %d partition / %d peer bytes, want 0", partSum, peerIn)
+		}
+		if r.App != "pr" && (partSum == 0 || peerIn == 0) {
+			t.Errorf("%s/%s p=%d exchanged no bytes (partition %d, peer %d)",
+				r.Dataset, r.App, r.Partitions, partSum, peerIn)
+		}
+	}
+}
+
+func TestBenchJSONIncludesClusterAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster A/B stands up an in-process roster")
+	}
+	cfg := Config{Quick: true, ClusterAB: true, Datasets: []gen.Dataset{gen.Twitter}}
+	var buf bytes.Buffer
+	if err := BenchJSON(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ClusterAB) == 0 {
+		t.Fatal("snapshot has no cluster_ab rows")
+	}
+}
